@@ -1,0 +1,253 @@
+package prord
+
+// One benchmark per table and figure of the paper's evaluation (§5),
+// plus ablation benches for the design choices DESIGN.md calls out.
+// Each bench regenerates its artifact end-to-end (workload synthesis,
+// log mining, cluster simulation) at a reduced trace scale and reports
+// the headline quantity as a custom metric, so `go test -bench=.`
+// doubles as a quick reproduction run. For full-scale tables use
+// cmd/prord-sim.
+
+import (
+	"testing"
+
+	"prord/internal/cluster"
+	"prord/internal/experiment"
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// benchOptions keeps bench iterations short while preserving the paper's
+// shapes (scale 0.15 is the smallest workload where the mining products
+// have enough training data to matter).
+func benchOptions() experiment.Options {
+	opt := experiment.DefaultOptions()
+	opt.Scale = 0.15
+	return opt
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Dispatches(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lard := tab.MustGet("CS-Trace", "LARD")
+		prord := tab.MustGet("CS-Trace", "PRORD")
+		reduction = 1 - prord/lard
+	}
+	b.ReportMetric(100*reduction, "%dispatch-reduction-cs")
+}
+
+func BenchmarkFig7Throughput(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lard := tab.MustGet("CS-Trace", "LARD")
+		prord := tab.MustGet("CS-Trace", "PRORD")
+		gain = 100 * (prord - lard) / lard
+	}
+	b.ReportMetric(gain, "%prord-vs-lard-cs")
+}
+
+func BenchmarkFig8MemorySweep(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var lowMemRatio float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lowMemRatio = tab.MustGet("10%", "PRORD") / tab.MustGet("10%", "LARD")
+	}
+	b.ReportMetric(lowMemRatio, "prord/lard@10%mem")
+}
+
+func BenchmarkFig9Ablation(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var prordGain float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lard := tab.MustGet("LARD", "throughput")
+		prordGain = 100 * (tab.MustGet("PRORD", "throughput") - lard) / lard
+	}
+	b.ReportMetric(prordGain, "%prord-vs-lard")
+}
+
+func BenchmarkScaleBackends(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Scale()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = tab.MustGet("6", "ratio")
+		for _, n := range []string{"8", "12", "16"} {
+			if v := tab.MustGet(n, "ratio"); v < worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "min-prord/lard-ratio")
+}
+
+func BenchmarkResponseTime(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var prordMs float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.ResponseTime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prordMs = tab.MustGet("CS-Trace", "PRORD")
+	}
+	b.ReportMetric(prordMs, "prord-mean-resp-ms-cs")
+}
+
+func BenchmarkHitRate(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var boost float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.HitRate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		boost = tab.MustGet("CS-Trace", "PRORD") - tab.MustGet("CS-Trace", "LARD")
+	}
+	b.ReportMetric(100*boost, "%hit-rate-boost-cs")
+}
+
+// --- Ablation benches (design choices) ---
+
+func BenchmarkAblationOrder(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var contexts float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.AblationOrder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		contexts = tab.MustGet("3", "contexts")
+	}
+	b.ReportMetric(contexts, "order-3-contexts")
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationThreshold(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCache(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationCache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictorComparison(b *testing.B) {
+	r := experiment.NewRunner(benchOptions())
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		tab, err := r.PredictorComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = tab.MustGet("Synthetic", "Order-2")
+	}
+	b.ReportMetric(acc, "order-2-accuracy")
+}
+
+// --- Micro benches for the hot substrates ---
+
+func benchWorkload(b *testing.B) (*trace.Trace, *mining.Miner) {
+	b.Helper()
+	_, full, err := trace.GeneratePreset(trace.PresetSynthetic, 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, eval := full.Split(0.4)
+	return eval, mining.Mine(train, mining.DefaultOptions())
+}
+
+func BenchmarkSimulatedRequestsPRORD(b *testing.B) {
+	// Cost of one fully simulated request under PRORD (all features on).
+	simulated := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eval2, miner := benchWorkload(b)
+		pol := policy.NewPRORD(policy.Thresholds{})
+		cl, err := cluster.New(cluster.Config{
+			Params:   benchParams(eval2.TotalFileBytes()),
+			Policy:   pol,
+			Features: cluster.AllFeatures(),
+			Miner:    miner,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := cl.Run(eval2); err != nil {
+			b.Fatal(err)
+		}
+		simulated += len(eval2.Requests)
+	}
+	b.ReportMetric(float64(simulated)/float64(b.Elapsed().Seconds()), "sim-req/s")
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	var requests int
+	for i := 0; i < b.N; i++ {
+		_, tr, err := trace.GeneratePreset(trace.PresetSynthetic, 0.1, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests = len(tr.Requests)
+	}
+	b.ReportMetric(float64(requests), "requests/trace")
+}
+
+func BenchmarkMining(b *testing.B) {
+	_, full, err := trace.GeneratePreset(trace.PresetSynthetic, 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Mine(full, mining.DefaultOptions())
+	}
+}
+
+func benchParams(dataset int64) cluster.Params {
+	p := cluster.DefaultParams()
+	p.Backends = 8
+	total := 0.3 * float64(dataset) / 8
+	p.AppMemory = int64(total * 0.64)
+	p.PinnedMemory = int64(total * 0.36)
+	return p
+}

@@ -1,0 +1,120 @@
+// Command logmine runs the PRORD web-log mining pass over an access log
+// in Common Log Format and reports what the distributor would learn:
+// navigation model size, per-page bundles (embedded-object tables) and
+// the popularity head that drives replication.
+//
+// Usage:
+//
+//	logmine -order 2 access.log
+//	tracegen -workload cs | logmine -bundles 5
+//	logmine -o model.json access.log     # save the model for prord-server
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"prord"
+)
+
+func main() {
+	var (
+		order   = flag.Int("order", 2, "dependency-graph order")
+		bundles = flag.Int("bundles", 10, "number of bundles to print (0 = none)")
+		top     = flag.Int("top", 10, "number of popularity entries to print")
+		stats   = flag.Bool("stats", false, "also print the workload characterization (Zipf fit, sessions)")
+		out     = flag.String("o", "", "save the mined model as JSON to this file")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logmine:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	// The input may be consumed twice (mining + stats); buffer it.
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logmine:", err)
+		os.Exit(1)
+	}
+	sum, err := prord.MineLog(bytes.NewReader(raw), *order)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logmine:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logmine:", err)
+			os.Exit(1)
+		}
+		if err := prord.SaveModel(f, bytes.NewReader(raw), *order); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "logmine:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "logmine:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "logmine: model saved to %s\n", *out)
+	}
+
+	fmt.Printf("requests:       %d\n", sum.Requests)
+	fmt.Printf("distinct files: %d\n", sum.Files)
+	fmt.Printf("sessions:       %d\n", sum.Sessions)
+	fmt.Printf("nav contexts:   %d (order %d)\n", sum.Contexts, *order)
+	fmt.Printf("transitions:    %d\n", sum.Transitions)
+	fmt.Printf("bundled pages:  %d\n", sum.BundledPages)
+
+	if *stats {
+		a, err := prord.AnalyzeLog(bytes.NewReader(raw))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "logmine:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nworkload characterization:")
+		fmt.Printf("  mean file size: %d KB\n", a.MeanFileSizeKB)
+		fmt.Printf("  popularity:     Zipf theta %.2f (R^2 %.2f), top decile carries %.0f%% of requests\n",
+			a.ZipfTheta, a.ZipfR2, 100*a.TopDecileShare)
+		fmt.Printf("  sessions:       %.1f pages/session, %.0f%% embedded objects, %.0f%% dynamic\n",
+			a.MeanPagesPerSession, 100*a.EmbeddedFrac, 100*a.DynamicFrac)
+	}
+
+	if *top > 0 {
+		fmt.Println("\npopularity head (drives Algorithm 3 replication):")
+		for i, p := range sum.TopFiles {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %2d. %s\n", i+1, p)
+		}
+	}
+	if *bundles > 0 {
+		fmt.Println("\nmined bundles (page -> embedded objects):")
+		pages := make([]string, 0, len(sum.Bundles))
+		for p := range sum.Bundles {
+			pages = append(pages, p)
+		}
+		sort.Strings(pages)
+		for i, p := range pages {
+			if i >= *bundles {
+				fmt.Printf("  ... and %d more\n", len(pages)-i)
+				break
+			}
+			fmt.Printf("  %s: %v\n", p, sum.Bundles[p])
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Command prord-bench measures the distribution policies over REAL HTTP:
+// it boots a set of demo backend servers (in-memory cache + simulated
+// disk latency) behind the front-end distributor, replays generated user
+// sessions with concurrent keep-alive clients, and reports throughput,
+// latency percentiles and backend cache hit rates per policy — a live
+// analogue of the paper's Fig. 7.
+//
+// Usage:
+//
+//	prord-bench -backends 4 -sessions 200 -concurrency 16
+//	prord-bench -policies PRORD,LARD -miss-ms 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prord/internal/httpfront"
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+func main() {
+	var (
+		backends    = flag.Int("backends", 4, "number of demo backend servers")
+		sessions    = flag.Int("sessions", 200, "user sessions to replay")
+		concurrency = flag.Int("concurrency", 16, "concurrent clients")
+		cacheMB     = flag.Int64("cache-mb", 2, "per-backend cache (MiB)")
+		missMs      = flag.Int("miss-ms", 8, "simulated disk latency per miss (ms)")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		policies    = flag.String("policies", "WRR,LARD,PRORD", "comma-separated policy list")
+		thinkMs     = flag.Int("think-ms", 25, "client think time between pages (ms)")
+	)
+	flag.Parse()
+
+	site, tr, err := trace.GeneratePreset(trace.PresetSynthetic, 0.2, *seed)
+	if err != nil {
+		fail(err)
+	}
+	miner := mining.Mine(tr, mining.DefaultOptions())
+	files := site.FileTable()
+	sess := buildSessions(tr, *sessions)
+	fmt.Printf("prord-bench: %d backends, %d sessions (%d requests), %d concurrent clients, %dms miss latency\n\n",
+		*backends, len(sess), countRequests(sess), *concurrency, *missMs)
+
+	fmt.Printf("%-16s %10s %10s %10s %10s %10s\n",
+		"policy", "req/s", "p50", "p95", "hit rate", "handoffs")
+	for _, polName := range strings.Split(*policies, ",") {
+		polName = strings.TrimSpace(polName)
+		r, err := runPolicy(polName, files, miner, sess, *backends, *cacheMB<<20,
+			time.Duration(*missMs)*time.Millisecond, *concurrency,
+			time.Duration(*thinkMs)*time.Millisecond)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-16s %10.0f %10v %10v %10.3f %10d\n",
+			polName, r.throughput, r.p50.Round(100*time.Microsecond),
+			r.p95.Round(100*time.Microsecond), r.hitRate, r.handoffs)
+	}
+}
+
+// session is one scripted browsing path: the request URLs in order, with
+// a page flag so the replayer can insert think time between pages.
+type session struct {
+	paths []string
+	page  []bool
+}
+
+// buildSessions converts trace sessions into request scripts.
+func buildSessions(tr *trace.Trace, limit int) []session {
+	byID := tr.Sessions()
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []session
+	for _, id := range ids {
+		if len(out) >= limit {
+			break
+		}
+		var s session
+		for _, idx := range byID[id] {
+			s.paths = append(s.paths, tr.Requests[idx].Path)
+			s.page = append(s.page, !tr.Requests[idx].Embedded)
+		}
+		if len(s.paths) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func countRequests(sess []session) int {
+	n := 0
+	for _, s := range sess {
+		n += len(s.paths)
+	}
+	return n
+}
+
+type benchResult struct {
+	throughput float64
+	p50, p95   time.Duration
+	hitRate    float64
+	handoffs   int64
+}
+
+// runPolicy boots a cluster, replays the sessions, and tears it down.
+func runPolicy(polName string, files map[string]int64, miner *mining.Miner,
+	sess []session, nBackends int, cacheBytes int64, missLatency time.Duration,
+	concurrency int, think time.Duration) (*benchResult, error) {
+
+	var urls []*url.URL
+	var demoBackends []*httpfront.DemoBackend
+	var servers []*httptest.Server
+	for i := 0; i < nBackends; i++ {
+		b := httpfront.NewDemoBackend(fmt.Sprintf("b%d", i), files, cacheBytes, missLatency)
+		demoBackends = append(demoBackends, b)
+		srv := httptest.NewServer(b)
+		servers = append(servers, srv)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			return nil, err
+		}
+		urls = append(urls, u)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	pol, err := policy.ByName(polName, nBackends, policy.Thresholds{})
+	if err != nil {
+		return nil, err
+	}
+	dist, err := httpfront.New(httpfront.Config{
+		Backends: urls,
+		Policy:   pol,
+		Miner:    miner,
+		Prefetch: polName == "PRORD",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer dist.Close()
+	front := httptest.NewServer(dist)
+	defer front.Close()
+
+	// Replay: workers pull sessions from a channel; each session runs on
+	// its own keep-alive connection.
+	work := make(chan session, len(sess))
+	for _, s := range sess {
+		work <- s
+	}
+	close(work)
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				client := &http.Client{}
+				for i, p := range s.paths {
+					// Users pause before following a link; browsers fire
+					// embedded-object requests immediately.
+					if i > 0 && s.page[i] && think > 0 {
+						time.Sleep(think)
+					}
+					t0 := time.Now()
+					resp, err := client.Get(front.URL + p)
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					d := time.Since(t0)
+					mu.Lock()
+					latencies = append(latencies, d)
+					mu.Unlock()
+				}
+				client.CloseIdleConnections()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := &benchResult{handoffs: dist.Stats().Handoffs}
+	if n := len(latencies); n > 0 {
+		res.throughput = float64(n) / elapsed.Seconds()
+		res.p50 = latencies[n/2]
+		res.p95 = latencies[n*95/100]
+	}
+	var hits, served int64
+	for _, b := range demoBackends {
+		st := b.Stats()
+		hits += st.Hits
+		served += st.Served
+	}
+	if served > 0 {
+		res.hitRate = float64(hits) / float64(served)
+	}
+	return res, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "prord-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command prord-server runs a live PRORD web cluster on localhost: n demo
+// backend servers (each with its own memory cache and simulated disk
+// latency) behind the PRORD HTTP front-end distributor. The site content
+// and the mined navigation model come from one of the paper's synthetic
+// workloads.
+//
+// Usage:
+//
+//	prord-server -addr :8080 -backends 4 -policy PRORD
+//	curl -s http://localhost:8080/g0/p0.html -D- -o /dev/null
+//	curl -s http://localhost:8080/_prord/stats
+//
+// Watch the X-Prord-Backend and X-Prord-Cache response headers to see
+// locality routing and cache warming at work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"prord/internal/httpfront"
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "front-end listen address")
+		backends = flag.Int("backends", 4, "number of demo backend servers")
+		polName  = flag.String("policy", "PRORD", "distribution policy (see prord-sim)")
+		workload = flag.String("workload", "synthetic", "site/workload preset: cs, worldcup, synthetic")
+		cacheMB  = flag.Int64("cache-mb", 4, "per-backend memory cache in MiB")
+		missMs   = flag.Int("miss-ms", 10, "simulated disk latency per backend miss (ms)")
+		seed     = flag.Int64("seed", 42, "site generation seed")
+		model    = flag.String("model", "", "load a mined model (logmine -o) instead of mining at startup")
+	)
+	flag.Parse()
+
+	preset, err := presetByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	// Build the site, a training trace and the miner (or load a model
+	// mined offline with logmine -o).
+	site, tr, err := trace.GeneratePreset(preset, 0.1, *seed)
+	if err != nil {
+		fail(err)
+	}
+	var miner *mining.Miner
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			fail(err)
+		}
+		miner, err = mining.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded model from %s: %s\n", *model, miner.Summary())
+	} else {
+		miner = mining.Mine(tr, mining.DefaultOptions())
+	}
+	files := site.FileTable()
+
+	// Start the backend servers on ephemeral ports.
+	var urls []*url.URL
+	for i := 0; i < *backends; i++ {
+		b := httpfront.NewDemoBackend(fmt.Sprintf("backend-%d", i), files,
+			*cacheMB<<20, time.Duration(*missMs)*time.Millisecond)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		srv := &http.Server{Handler: b}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				fail(err)
+			}
+		}()
+		u, err := url.Parse("http://" + ln.Addr().String())
+		if err != nil {
+			fail(err)
+		}
+		urls = append(urls, u)
+		fmt.Printf("backend-%d: %s\n", i, u)
+	}
+
+	pol, err := policy.ByName(*polName, *backends, policy.Thresholds{})
+	if err != nil {
+		fail(err)
+	}
+	dist, err := httpfront.New(httpfront.Config{
+		Backends: urls,
+		Policy:   pol,
+		Miner:    miner,
+		Prefetch: *polName == "PRORD",
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer dist.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/_prord/stats", httpfront.StatsHandler(dist))
+	mux.Handle("/", dist)
+
+	fmt.Printf("prord-server: %s policy, %d backends, site %s (%d files)\n",
+		pol.Name(), *backends, *workload, len(files))
+	fmt.Printf("front-end listening on %s — try a page like %s\n", *addr, examplePage(site))
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fail(err)
+	}
+}
+
+func presetByName(name string) (trace.Preset, error) {
+	switch name {
+	case "cs":
+		return trace.PresetCS, nil
+	case "worldcup":
+		return trace.PresetWorldCup, nil
+	case "synthetic":
+		return trace.PresetSynthetic, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func examplePage(site *trace.Site) string {
+	if len(site.Pages) > 0 {
+		return site.Pages[0].Path
+	}
+	return "/"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "prord-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+// Package prord is a reproduction of "A PROactive Request Distribution
+// (PRORD) Using Web Log Mining in a Cluster-Based Web Server" (Lee,
+// Vageesan, Yum, Kim — ICPP 2006).
+//
+// PRORD is a request-distribution policy for distributor-based web
+// clusters. It extends LARD (locality-aware request distribution) with
+// three mining-driven mechanisms: bundle-aware forwarding of embedded
+// objects at the front-end, popularity-driven replication of hot files
+// across backend memories, and navigation-pattern prefetching at the
+// backends.
+//
+// The root package is the public facade. It exposes:
+//
+//   - RunExperiment / Experiments — regenerate every table and figure of
+//     the paper's evaluation on the built-in cluster simulator.
+//   - Compare — run an ad-hoc policy comparison on one workload.
+//   - WriteSyntheticTrace / MineLog — generate Common Log Format traces
+//     statistically matched to the paper's workloads, and run the web-log
+//     miner over any CLF stream.
+//
+// The substrates live under internal/: the discrete-event simulator
+// (internal/sim), the cluster model (internal/cluster), distribution
+// policies (internal/policy), web-log mining (internal/mining),
+// replication (internal/replicate), caches (internal/cache), workload
+// generation (internal/trace) and a real HTTP/1.1 front-end distributor
+// (internal/httpfront) driven by the same policies.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package prord

@@ -1,0 +1,83 @@
+package prord_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"prord"
+)
+
+// The quickest way to see the paper's headline result: simulate the
+// policies on a workload and compare PRORD against LARD.
+func ExampleCompare() {
+	opt := prord.DefaultOptions()
+	opt.Scale = 0.05 // tiny run for the example
+
+	rows, err := prord.Compare("synthetic", []string{"LARD", "PRORD"}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byName := map[string]prord.PolicySummary{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	fmt.Println("PRORD dispatches fewer than LARD:",
+		byName["PRORD"].Dispatches < byName["LARD"].Dispatches)
+	fmt.Println("PRORD prefetches:", byName["PRORD"].Prefetches > 0)
+	fmt.Println("LARD never prefetches:", byName["LARD"].Prefetches == 0)
+	// Output:
+	// PRORD dispatches fewer than LARD: true
+	// PRORD prefetches: true
+	// LARD never prefetches: true
+}
+
+// Traces are plain Common Log Format, so the generator and the miner
+// compose like Unix tools.
+func ExampleMineLog() {
+	var buf bytes.Buffer
+	if _, err := prord.WriteSyntheticTrace(&buf, "cs", 0.02, 7); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := prord.MineLog(&buf, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mined a navigation model:", sum.Contexts > 0)
+	fmt.Println("found bundles:", sum.BundledPages > 0)
+	fmt.Println("ranked files:", len(sum.TopFiles) > 0)
+	// Output:
+	// mined a navigation model: true
+	// found bundles: true
+	// ranked files: true
+}
+
+// Every table and figure of the paper's evaluation regenerates through
+// one call.
+func ExampleRunExperiment() {
+	rep, err := prord.RunExperiment("table1", prord.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.ID, "-", rep.Title)
+	// Output:
+	// table1 - System parameters
+}
+
+// Workload characterization of any access log: popularity skew and
+// session structure.
+func ExampleAnalyzeLog() {
+	var buf bytes.Buffer
+	if _, err := prord.WriteSyntheticTrace(&buf, "worldcup", 0.003, 3); err != nil {
+		log.Fatal(err)
+	}
+	a, err := prord.AnalyzeLog(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("popularity is skewed:", a.TopDecileShare > 0.3)
+	fmt.Println("sessions have multiple pages:", a.MeanPagesPerSession > 1)
+	// Output:
+	// popularity is skewed: true
+	// sessions have multiple pages: true
+}

@@ -1,0 +1,69 @@
+// Offline-mining workflow: the paper's deployment model is a batch
+// mining pass over yesterday's access logs feeding today's distributor
+// ("the extracted information from web log file is made available for
+// the distributor at the front-end", §1). This example runs the whole
+// pipeline: export a log in Common Log Format, mine it, persist the
+// model, reload it, and show the decisions the distributor would make
+// with it.
+//
+//	go run ./examples/offline-mining
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"prord"
+	"prord/internal/mining"
+	"prord/internal/trace"
+)
+
+func main() {
+	// 1. "Yesterday's" access log, in CLF.
+	var logFile bytes.Buffer
+	n, err := prord.WriteSyntheticTrace(&logFile, "cs", 0.1, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. exported %d requests of CLF access log (%d KB)\n",
+		n, logFile.Len()>>10)
+
+	// 2. Batch mining pass, persisted as JSON (what `logmine -o` does).
+	var modelFile bytes.Buffer
+	if err := prord.SaveModel(&modelFile, bytes.NewReader(logFile.Bytes()), 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. mined and saved the model (%d KB of JSON)\n", modelFile.Len()>>10)
+
+	// 3. The distributor loads the model at startup (what
+	//    `prord-server -model` does) — no logs needed at runtime.
+	miner, err := mining.Load(&modelFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. loaded: %s\n\n", miner.Summary())
+
+	// 4. What the model buys the distributor, on a fresh user session.
+	site, _, err := trace.GeneratePreset(trace.PresetCS, 0.01, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := site.Pages[0]
+	fmt.Printf("a user opens %s:\n", page.Path)
+
+	if objs := miner.Bundles.Objects(page.Path); len(objs) > 0 {
+		fmt.Printf("  bundle forwarding: %d embedded objects will follow the\n", len(objs))
+		fmt.Printf("  page to its backend without dispatches (e.g. %s)\n", objs[0])
+	}
+	if pred, ok := miner.Model.Predict([]string{page.Path}); ok {
+		action := "below the prefetch threshold — no action"
+		if miner.ShouldPrefetch(pred) {
+			action = "above the threshold — prefetched into backend memory"
+		}
+		fmt.Printf("  navigation model: next page %s (confidence %.2f), %s\n",
+			pred.Page, pred.Confidence, action)
+	}
+	top := miner.Ranker.Top(3)
+	fmt.Printf("  replication (Algorithm 3) keeps the hot head on many backends: %v\n", top)
+}

@@ -1,0 +1,48 @@
+// Quickstart: compare the paper's four distribution policies on the
+// synthetic workload and print the headline PRORD-vs-LARD numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prord"
+)
+
+func main() {
+	opt := prord.DefaultOptions()
+	opt.Scale = 0.2 // 6,000 requests: a few seconds of simulation
+
+	fmt.Println("simulating WRR / LARD / Ext-LARD-PHTTP / PRORD on the synthetic trace...")
+	rows, err := prord.Compare("synthetic", nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-16s %12s %14s %10s %12s %10s\n",
+		"policy", "req/s", "mean response", "hit rate", "dispatches", "prefetch")
+	var lard, prordThr float64
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.0f %14v %10.3f %12d %10d\n",
+			r.Policy, r.Throughput, r.MeanResponse, r.HitRate, r.Dispatches, r.Prefetches)
+		switch r.Policy {
+		case "LARD":
+			lard = r.Throughput
+		case "PRORD":
+			prordThr = r.Throughput
+		}
+	}
+	if lard > 0 {
+		fmt.Printf("\nPRORD over LARD: %+.1f%% (the paper reports 10-45%%)\n",
+			100*(prordThr-lard)/lard)
+	}
+
+	fmt.Println("\nregenerating Fig. 6 (frequency of dispatches)...")
+	rep, err := prord.RunExperiment("fig6", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+}

@@ -1,0 +1,3 @@
+module prord
+
+go 1.22

@@ -1,0 +1,443 @@
+// Package cache implements the backend-server memory caches used by the
+// cluster model: byte-capacity LRU, GDSF (Greedy-Dual-Size-Frequency,
+// Cherkasova [30]), the GDSF extension from Yang et al. [20] that splits
+// frequency into past and predicted future frequency, and a partitioned
+// store with a pinned region for prefetched and replicated pages
+// (Table 1's "pinned memory").
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+)
+
+// Item is a cached object: a web file identified by its URL path.
+type Item struct {
+	Key  string
+	Size int64
+}
+
+// Cache is a byte-capacity object cache. Implementations are not safe for
+// concurrent use; the simulator is single-threaded and the HTTP front-end
+// wraps caches in its own locking.
+type Cache interface {
+	// Contains reports presence without affecting replacement state.
+	Contains(key string) bool
+	// Touch registers a hit on key, updating replacement state, and
+	// reports whether the key was present.
+	Touch(key string) bool
+	// Insert adds the object, evicting as needed. It returns the evicted
+	// items and whether the object now resides in the cache (false when
+	// it is larger than the total capacity). Re-inserting an existing key
+	// updates its size and hit state.
+	Insert(key string, size int64) (evicted []Item, ok bool)
+	// Remove drops the object if present.
+	Remove(key string) bool
+	// Bytes is the total size of the cached objects.
+	Bytes() int64
+	// Capacity is the configured byte capacity.
+	Capacity() int64
+	// Len is the number of cached objects.
+	Len() int
+}
+
+// Store is the backend-memory interface the cluster model consumes: a
+// demand cache plus a pinned region for prefetched and replicated pages.
+type Store interface {
+	Cache
+	// InsertPinned places an object in the pinned region.
+	InsertPinned(key string, size int64) (evicted []Item, ok bool)
+	// RemovePinned removes key only if it is pinned.
+	RemovePinned(key string) bool
+	// IsPinned reports whether key is resident and pinned.
+	IsPinned(key string) bool
+}
+
+// --- LRU ---
+
+// LRU is a least-recently-used cache with byte capacity.
+type LRU struct {
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// NewLRU returns an LRU cache. It panics if capacity is negative.
+func NewLRU(capacity int64) *LRU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Contains implements Cache.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Touch implements Cache.
+func (c *LRU) Touch(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// Insert implements Cache.
+func (c *LRU) Insert(key string, size int64) (evicted []Item, ok bool) {
+	if size < 0 {
+		size = 0
+	}
+	if size > c.capacity {
+		return nil, false
+	}
+	if el, exists := c.items[key]; exists {
+		ent := el.Value.(*lruEntry)
+		c.bytes += size - ent.size
+		ent.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&lruEntry{key: key, size: size})
+		c.items[key] = el
+		c.bytes += size
+	}
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		ent := back.Value.(*lruEntry)
+		if ent.key == key {
+			// The inserted item is the eviction victim; keep it (it fits
+			// by the capacity check) and evict from the next-oldest.
+			c.ll.MoveToFront(back)
+			continue
+		}
+		c.removeElement(back)
+		evicted = append(evicted, Item{Key: ent.key, Size: ent.size})
+	}
+	return evicted, true
+}
+
+// Remove implements Cache.
+func (c *LRU) Remove(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+func (c *LRU) removeElement(el *list.Element) {
+	ent := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.size
+}
+
+// Bytes implements Cache.
+func (c *LRU) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Len implements Cache.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Keys returns the cached keys from most to least recently used.
+func (c *LRU) Keys() []string {
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*lruEntry).key)
+	}
+	return keys
+}
+
+var _ Cache = (*LRU)(nil)
+
+// --- GDSF ---
+
+// gdsfEntry is one object in a GDSF cache.
+type gdsfEntry struct {
+	key     string
+	size    int64
+	freq    float64 // past access count
+	future  float64 // predicted future accesses (GDSF-split only)
+	pri     float64 // cached priority key
+	heapIdx int
+}
+
+type gdsfHeap []*gdsfEntry
+
+func (h gdsfHeap) Len() int           { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool { return h[i].pri < h[j].pri }
+func (h gdsfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *gdsfHeap) Push(x any)        { e := x.(*gdsfEntry); e.heapIdx = len(*h); *h = append(*h, e) }
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// GDSF implements Greedy-Dual-Size-Frequency replacement:
+// priority = clock + (pastFreq + futureWeight*futureFreq) / size.
+// Objects with the smallest priority are evicted first, and the clock is
+// advanced to each eviction victim's priority, aging resident objects.
+// With futureWeight == 0 this is classic GDSF; the split variant of Yang
+// et al. feeds predicted future frequency via SetFuture.
+type GDSF struct {
+	capacity     int64
+	bytes        int64
+	clock        float64
+	futureWeight float64
+	items        map[string]*gdsfEntry
+	h            gdsfHeap
+}
+
+// NewGDSF returns a classic GDSF cache.
+func NewGDSF(capacity int64) *GDSF { return NewGDSFSplit(capacity, 0) }
+
+// NewGDSFSplit returns a GDSF cache whose priority adds futureWeight times
+// the predicted future frequency of each object (the [20] extension).
+func NewGDSFSplit(capacity int64, futureWeight float64) *GDSF {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	if futureWeight < 0 {
+		futureWeight = 0
+	}
+	return &GDSF{
+		capacity:     capacity,
+		futureWeight: futureWeight,
+		items:        make(map[string]*gdsfEntry),
+	}
+}
+
+func (c *GDSF) priority(e *gdsfEntry) float64 {
+	size := e.size
+	if size <= 0 {
+		size = 1
+	}
+	return c.clock + (e.freq+c.futureWeight*e.future)/float64(size)
+}
+
+func (c *GDSF) update(e *gdsfEntry) {
+	e.pri = c.priority(e)
+	heap.Fix(&c.h, e.heapIdx)
+}
+
+// Contains implements Cache.
+func (c *GDSF) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Touch implements Cache.
+func (c *GDSF) Touch(key string) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	e.freq++
+	c.update(e)
+	return true
+}
+
+// SetFuture records the predicted future access frequency for key if it is
+// resident, returning whether it was. Predictions come from the log miner.
+func (c *GDSF) SetFuture(key string, future float64) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	if future < 0 {
+		future = 0
+	}
+	e.future = future
+	c.update(e)
+	return true
+}
+
+// Insert implements Cache.
+func (c *GDSF) Insert(key string, size int64) (evicted []Item, ok bool) {
+	if size < 0 {
+		size = 0
+	}
+	if size > c.capacity {
+		return nil, false
+	}
+	if e, exists := c.items[key]; exists {
+		c.bytes += size - e.size
+		e.size = size
+		e.freq++
+		c.update(e)
+	} else {
+		e := &gdsfEntry{key: key, size: size, freq: 1}
+		e.pri = c.priority(e)
+		heap.Push(&c.h, e)
+		c.items[key] = e
+		c.bytes += size
+	}
+	for c.bytes > c.capacity {
+		victim := c.h[0]
+		if victim.key == key && c.h.Len() > 1 {
+			// Evicting the just-inserted key would livelock the loop;
+			// GDSF handles this by refusing admission only when the new
+			// object is the lowest priority AND the cache has no room.
+			// Here we evict the next-lowest instead to make progress.
+			second := c.secondLowest()
+			if second != nil && c.bytes-second.size <= c.capacity {
+				victim = second
+			}
+		}
+		heap.Remove(&c.h, victim.heapIdx)
+		delete(c.items, victim.key)
+		c.bytes -= victim.size
+		c.clock = victim.pri
+		if victim.key == key {
+			return evicted, false
+		}
+		evicted = append(evicted, Item{Key: victim.key, Size: victim.size})
+	}
+	return evicted, true
+}
+
+// secondLowest returns the entry with the second-smallest priority, or nil.
+func (c *GDSF) secondLowest() *gdsfEntry {
+	if c.h.Len() < 2 {
+		return nil
+	}
+	best := c.h[1]
+	if c.h.Len() >= 3 && c.h[2].pri < best.pri {
+		best = c.h[2]
+	}
+	return best
+}
+
+// Remove implements Cache.
+func (c *GDSF) Remove(key string) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.h, e.heapIdx)
+	delete(c.items, key)
+	c.bytes -= e.size
+	return true
+}
+
+// Bytes implements Cache.
+func (c *GDSF) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *GDSF) Capacity() int64 { return c.capacity }
+
+// Len implements Cache.
+func (c *GDSF) Len() int { return len(c.items) }
+
+var _ Cache = (*GDSF)(nil)
+
+// --- Partitioned (pinned memory) ---
+
+// Partitioned combines a demand cache with a pinned partition used for
+// prefetched and replicated pages, mirroring Table 1's separate "pinned
+// memory" pool. Demand insertions go to the main partition; InsertPinned
+// places objects in the pinned partition where normal demand traffic
+// cannot evict them (only other pinned insertions can).
+type Partitioned struct {
+	main   Cache
+	pinned Cache
+}
+
+// NewPartitioned builds a partitioned store from the two caches. Both must
+// be non-nil.
+func NewPartitioned(main, pinned Cache) *Partitioned {
+	if main == nil || pinned == nil {
+		panic("cache: nil partition")
+	}
+	return &Partitioned{main: main, pinned: pinned}
+}
+
+// Contains reports presence in either partition.
+func (p *Partitioned) Contains(key string) bool {
+	return p.main.Contains(key) || p.pinned.Contains(key)
+}
+
+// Touch registers a hit in whichever partition holds the key.
+func (p *Partitioned) Touch(key string) bool {
+	if p.main.Touch(key) {
+		return true
+	}
+	return p.pinned.Touch(key)
+}
+
+// Insert adds a demand-fetched object to the main partition. If the key is
+// pinned it stays pinned and the insert only refreshes that entry.
+func (p *Partitioned) Insert(key string, size int64) (evicted []Item, ok bool) {
+	if p.pinned.Contains(key) {
+		p.pinned.Touch(key)
+		return nil, true
+	}
+	return p.main.Insert(key, size)
+}
+
+// InsertPinned adds a prefetched or replicated object to the pinned
+// partition, removing any main-partition copy.
+func (p *Partitioned) InsertPinned(key string, size int64) (evicted []Item, ok bool) {
+	evicted, ok = p.pinned.Insert(key, size)
+	if ok {
+		p.main.Remove(key)
+	}
+	return evicted, ok
+}
+
+// RemovePinned removes key only if it lives in the pinned partition.
+func (p *Partitioned) RemovePinned(key string) bool {
+	return p.pinned.Remove(key)
+}
+
+// IsPinned reports whether key is resident in the pinned partition.
+func (p *Partitioned) IsPinned(key string) bool {
+	return p.pinned.Contains(key)
+}
+
+// Remove drops the key from both partitions.
+func (p *Partitioned) Remove(key string) bool {
+	a := p.main.Remove(key)
+	b := p.pinned.Remove(key)
+	return a || b
+}
+
+// Bytes is the combined resident size.
+func (p *Partitioned) Bytes() int64 { return p.main.Bytes() + p.pinned.Bytes() }
+
+// Capacity is the combined capacity.
+func (p *Partitioned) Capacity() int64 { return p.main.Capacity() + p.pinned.Capacity() }
+
+// Len is the combined object count.
+func (p *Partitioned) Len() int { return p.main.Len() + p.pinned.Len() }
+
+// Main exposes the demand partition.
+func (p *Partitioned) Main() Cache { return p.main }
+
+// Pinned exposes the pinned partition.
+func (p *Partitioned) Pinned() Cache { return p.pinned }
+
+var (
+	_ Cache = (*Partitioned)(nil)
+	_ Store = (*Partitioned)(nil)
+)

@@ -1,0 +1,224 @@
+package cache
+
+import "container/list"
+
+// Pinning is a shared-capacity cache with a pinned region of *variable*
+// size, matching Table 1's "Pinned Memory 72 MB (Variable)": demand and
+// pinned objects share one byte budget; pinned bytes are capped by
+// maxPinned, and space not used by pinned objects serves demand traffic.
+//
+// Eviction rules:
+//   - Demand insertions evict demand objects (LRU) only; they never evict
+//     pinned objects. If the demand object cannot fit in the space left
+//     by pinned objects, it is not admitted.
+//   - Pinned insertions evict the oldest pinned objects past the pinned
+//     cap, then demand LRU objects past the total capacity.
+type Pinning struct {
+	capacity  int64
+	maxPinned int64
+	bytes     int64
+	pinBytes  int64
+	demand    *list.List // front = most recent
+	pinned    *list.List // front = most recent
+	items     map[string]*list.Element
+}
+
+type pinEntry struct {
+	key    string
+	size   int64
+	pinned bool
+}
+
+// NewPinning returns a cache with the given total capacity and pinned cap
+// (clamped to capacity). It panics on negative arguments.
+func NewPinning(capacity, maxPinned int64) *Pinning {
+	if capacity < 0 || maxPinned < 0 {
+		panic("cache: negative capacity")
+	}
+	if maxPinned > capacity {
+		maxPinned = capacity
+	}
+	return &Pinning{
+		capacity:  capacity,
+		maxPinned: maxPinned,
+		demand:    list.New(),
+		pinned:    list.New(),
+		items:     make(map[string]*list.Element),
+	}
+}
+
+// Contains implements Cache.
+func (c *Pinning) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// IsPinned reports whether key is resident in the pinned region.
+func (c *Pinning) IsPinned(key string) bool {
+	el, ok := c.items[key]
+	return ok && el.Value.(*pinEntry).pinned
+}
+
+// Touch implements Cache.
+func (c *Pinning) Touch(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	if el.Value.(*pinEntry).pinned {
+		c.pinned.MoveToFront(el)
+	} else {
+		c.demand.MoveToFront(el)
+	}
+	return true
+}
+
+// Insert adds a demand object. It never evicts pinned objects; when the
+// object cannot fit beside the current pinned bytes it is rejected.
+func (c *Pinning) Insert(key string, size int64) (evicted []Item, ok bool) {
+	if size < 0 {
+		size = 0
+	}
+	if el, exists := c.items[key]; exists {
+		ent := el.Value.(*pinEntry)
+		if ent.pinned {
+			c.pinned.MoveToFront(el)
+			return nil, true
+		}
+		if size > c.capacity-c.pinBytes {
+			c.removeElement(el)
+			return nil, false
+		}
+		c.bytes += size - ent.size
+		ent.size = size
+		c.demand.MoveToFront(el)
+		return c.evictDemandOverflow(key), true
+	}
+	if size > c.capacity-c.pinBytes {
+		return nil, false
+	}
+	el := c.demand.PushFront(&pinEntry{key: key, size: size})
+	c.items[key] = el
+	c.bytes += size
+	return c.evictDemandOverflow(key), true
+}
+
+// evictDemandOverflow drops demand LRU victims until total bytes fit.
+func (c *Pinning) evictDemandOverflow(keep string) []Item {
+	var evicted []Item
+	for c.bytes > c.capacity {
+		back := c.demand.Back()
+		if back == nil {
+			break // only pinned objects remain; caller guaranteed fit
+		}
+		ent := back.Value.(*pinEntry)
+		if ent.key == keep {
+			c.demand.MoveToFront(back)
+			continue
+		}
+		c.removeElement(back)
+		evicted = append(evicted, Item{Key: ent.key, Size: ent.size})
+	}
+	return evicted
+}
+
+// InsertPinned adds or promotes an object into the pinned region.
+func (c *Pinning) InsertPinned(key string, size int64) (evicted []Item, ok bool) {
+	if size < 0 {
+		size = 0
+	}
+	if size > c.maxPinned {
+		return nil, false
+	}
+	if el, exists := c.items[key]; exists {
+		// Promote or refresh.
+		ent := el.Value.(*pinEntry)
+		if ent.pinned {
+			c.pinBytes += size - ent.size
+			c.bytes += size - ent.size
+			ent.size = size
+			c.pinned.MoveToFront(el)
+		} else {
+			c.demand.Remove(el)
+			c.bytes -= ent.size
+			ent.size = size
+			ent.pinned = true
+			c.items[key] = c.pinned.PushFront(ent)
+			c.bytes += size
+			c.pinBytes += size
+		}
+	} else {
+		el := c.pinned.PushFront(&pinEntry{key: key, size: size, pinned: true})
+		c.items[key] = el
+		c.bytes += size
+		c.pinBytes += size
+	}
+	// Oldest pinned objects yield past the pinned cap.
+	for c.pinBytes > c.maxPinned {
+		back := c.pinned.Back()
+		ent := back.Value.(*pinEntry)
+		if ent.key == key {
+			c.pinned.MoveToFront(back)
+			continue
+		}
+		c.removeElement(back)
+		evicted = append(evicted, Item{Key: ent.key, Size: ent.size})
+	}
+	// Then demand objects yield past the total capacity.
+	evicted = append(evicted, c.evictDemandOverflow("")...)
+	return evicted, true
+}
+
+// Remove implements Cache.
+func (c *Pinning) Remove(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// RemovePinned removes key only if it is resident and pinned, reporting
+// whether it did. The replication manager uses it to drop replicas
+// without disturbing demand-cached copies.
+func (c *Pinning) RemovePinned(key string) bool {
+	el, ok := c.items[key]
+	if !ok || !el.Value.(*pinEntry).pinned {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+func (c *Pinning) removeElement(el *list.Element) {
+	ent := el.Value.(*pinEntry)
+	if ent.pinned {
+		c.pinned.Remove(el)
+		c.pinBytes -= ent.size
+	} else {
+		c.demand.Remove(el)
+	}
+	c.bytes -= ent.size
+	delete(c.items, ent.key)
+}
+
+// Bytes implements Cache.
+func (c *Pinning) Bytes() int64 { return c.bytes }
+
+// PinnedBytes returns the bytes currently pinned.
+func (c *Pinning) PinnedBytes() int64 { return c.pinBytes }
+
+// Capacity implements Cache.
+func (c *Pinning) Capacity() int64 { return c.capacity }
+
+// MaxPinned returns the pinned-region cap.
+func (c *Pinning) MaxPinned() int64 { return c.maxPinned }
+
+// Len implements Cache.
+func (c *Pinning) Len() int { return len(c.items) }
+
+var (
+	_ Cache = (*Pinning)(nil)
+	_ Store = (*Pinning)(nil)
+)

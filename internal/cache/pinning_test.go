@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPinningBasics(t *testing.T) {
+	c := NewPinning(100, 40)
+	if c.Capacity() != 100 || c.MaxPinned() != 40 {
+		t.Fatalf("caps = %d/%d", c.Capacity(), c.MaxPinned())
+	}
+	if _, ok := c.Insert("d", 30); !ok {
+		t.Fatal("demand insert should fit")
+	}
+	if _, ok := c.InsertPinned("p", 30); !ok {
+		t.Fatal("pinned insert should fit")
+	}
+	if !c.Contains("d") || !c.Contains("p") {
+		t.Fatal("both objects should be resident")
+	}
+	if c.IsPinned("d") || !c.IsPinned("p") {
+		t.Fatal("IsPinned wrong")
+	}
+	if c.Bytes() != 60 || c.PinnedBytes() != 30 || c.Len() != 2 {
+		t.Fatalf("accounting: bytes=%d pinned=%d len=%d", c.Bytes(), c.PinnedBytes(), c.Len())
+	}
+}
+
+func TestPinningDemandNeverEvictsPinned(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.InsertPinned("p", 40)
+	// Demand churn up to the remaining 60 bytes.
+	for i := 0; i < 50; i++ {
+		ev, ok := c.Insert(fmt.Sprintf("d%d", i), 20)
+		if !ok {
+			t.Fatalf("demand insert %d rejected", i)
+		}
+		for _, e := range ev {
+			if e.Key == "p" {
+				t.Fatal("demand insertion evicted a pinned object")
+			}
+		}
+	}
+	if !c.Contains("p") {
+		t.Fatal("pinned object must survive demand churn")
+	}
+	if c.Bytes() > 100 {
+		t.Fatal("over capacity")
+	}
+}
+
+func TestPinningDemandRejectedWhenPinnedFills(t *testing.T) {
+	c := NewPinning(100, 80)
+	c.InsertPinned("p", 80)
+	if _, ok := c.Insert("big", 30); ok {
+		t.Fatal("demand object larger than free space must be rejected")
+	}
+	if _, ok := c.Insert("small", 20); !ok {
+		t.Fatal("demand object fitting beside pinned must be admitted")
+	}
+}
+
+func TestPinningVariablePinnedSpace(t *testing.T) {
+	// The whole point of "(Variable)": with nothing pinned, demand can
+	// use all 100 bytes.
+	c := NewPinning(100, 40)
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Insert(fmt.Sprintf("d%d", i), 20); !ok {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+	if c.Bytes() != 100 || c.Len() != 5 {
+		t.Fatalf("demand should fill the whole pool: bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+}
+
+func TestPinningCapEvictsOldestPinned(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.InsertPinned("p1", 20)
+	c.InsertPinned("p2", 20)
+	ev, ok := c.InsertPinned("p3", 20) // over the 40-byte pinned cap
+	if !ok {
+		t.Fatal("p3 should be admitted")
+	}
+	if len(ev) != 1 || ev[0].Key != "p1" {
+		t.Fatalf("oldest pinned should yield, evicted %v", ev)
+	}
+	if c.PinnedBytes() != 40 {
+		t.Fatalf("PinnedBytes = %d, want 40", c.PinnedBytes())
+	}
+}
+
+func TestPinningTouchRefreshesPinnedOrder(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.InsertPinned("p1", 20)
+	c.InsertPinned("p2", 20)
+	if !c.Touch("p1") {
+		t.Fatal("Touch(p1)")
+	}
+	ev, _ := c.InsertPinned("p3", 20)
+	if len(ev) != 1 || ev[0].Key != "p2" {
+		t.Fatalf("after touching p1, p2 should yield; evicted %v", ev)
+	}
+}
+
+func TestPinningPromoteDemandToPinned(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.Insert("x", 30)
+	if _, ok := c.InsertPinned("x", 30); !ok {
+		t.Fatal("promotion should succeed")
+	}
+	if !c.IsPinned("x") {
+		t.Fatal("x should be pinned after promotion")
+	}
+	if c.Bytes() != 30 || c.PinnedBytes() != 30 || c.Len() != 1 {
+		t.Fatalf("promotion double-counted: bytes=%d pinned=%d len=%d",
+			c.Bytes(), c.PinnedBytes(), c.Len())
+	}
+}
+
+func TestPinningDemandInsertOfPinnedKeyKeepsPin(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.InsertPinned("x", 20)
+	if _, ok := c.Insert("x", 20); !ok {
+		t.Fatal("insert of pinned key should report resident")
+	}
+	if !c.IsPinned("x") || c.Len() != 1 {
+		t.Fatal("pinned copy must stay authoritative")
+	}
+}
+
+func TestPinningOversizedPinnedRejected(t *testing.T) {
+	c := NewPinning(100, 40)
+	if _, ok := c.InsertPinned("huge", 41); ok {
+		t.Fatal("pinned object above the cap must be rejected")
+	}
+}
+
+func TestPinningRemoveAndRemovePinned(t *testing.T) {
+	c := NewPinning(100, 40)
+	c.Insert("d", 10)
+	c.InsertPinned("p", 10)
+	if c.RemovePinned("d") {
+		t.Fatal("RemovePinned must not remove demand objects")
+	}
+	if !c.RemovePinned("p") || c.RemovePinned("p") {
+		t.Fatal("RemovePinned should remove p exactly once")
+	}
+	if !c.Remove("d") || c.Remove("d") {
+		t.Fatal("Remove should remove d exactly once")
+	}
+	if c.Bytes() != 0 || c.PinnedBytes() != 0 || c.Len() != 0 {
+		t.Fatal("accounting after removals")
+	}
+}
+
+func TestPinningMaxPinnedClamped(t *testing.T) {
+	c := NewPinning(50, 500)
+	if c.MaxPinned() != 50 {
+		t.Fatalf("MaxPinned should clamp to capacity, got %d", c.MaxPinned())
+	}
+}
+
+func TestPinningNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPinning(-1, 0)
+}
+
+// TestPinningInvariantsProperty drives a Pinning store with a random op
+// sequence and checks the capacity, pinned-cap and accounting invariants
+// after every operation.
+func TestPinningInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewPinning(150, 60)
+		type obj struct {
+			size   int64
+			pinned bool
+		}
+		live := make(map[string]obj)
+		applyEvict := func(ev []Item) {
+			for _, e := range ev {
+				if _, known := live[e.Key]; !known {
+					t.Errorf("evicted unknown key %s", e.Key)
+					return
+				}
+				delete(live, e.Key)
+			}
+		}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%19)
+			size := int64(op%13) * 5
+			switch op % 4 {
+			case 0:
+				ev, ok := c.Insert(key, size)
+				applyEvict(ev)
+				if ok {
+					if prev, exists := live[key]; !exists || !prev.pinned {
+						live[key] = obj{size: size, pinned: false}
+					}
+				} else if prev, exists := live[key]; exists && !prev.pinned {
+					delete(live, key)
+				}
+			case 1:
+				ev, ok := c.InsertPinned(key, size)
+				applyEvict(ev)
+				if ok {
+					live[key] = obj{size: size, pinned: true}
+				}
+			case 2:
+				got := c.Touch(key)
+				if _, want := live[key]; got != want {
+					t.Errorf("op %d: Touch(%s) = %v, want %v", i, key, got, want)
+					return false
+				}
+			case 3:
+				got := c.Remove(key)
+				if _, want := live[key]; got != want {
+					t.Errorf("op %d: Remove(%s) = %v, want %v", i, key, got, want)
+					return false
+				}
+				delete(live, key)
+			}
+			// Invariants.
+			if c.Bytes() > c.Capacity() {
+				t.Errorf("op %d: bytes %d > capacity", i, c.Bytes())
+				return false
+			}
+			if c.PinnedBytes() > c.MaxPinned() {
+				t.Errorf("op %d: pinned %d > cap", i, c.PinnedBytes())
+				return false
+			}
+			var wantBytes, wantPinned int64
+			for k, o := range live {
+				if !c.Contains(k) {
+					t.Errorf("op %d: live key %s missing", i, k)
+					return false
+				}
+				if c.IsPinned(k) != o.pinned {
+					t.Errorf("op %d: pin state of %s wrong", i, k)
+					return false
+				}
+				wantBytes += o.size
+				if o.pinned {
+					wantPinned += o.size
+				}
+			}
+			if c.Bytes() != wantBytes || c.PinnedBytes() != wantPinned || c.Len() != len(live) {
+				t.Errorf("op %d: accounting bytes=%d/%d pinned=%d/%d len=%d/%d",
+					i, c.Bytes(), wantBytes, c.PinnedBytes(), wantPinned, c.Len(), len(live))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

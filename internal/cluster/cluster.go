@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prord/internal/cache"
+	"prord/internal/metrics"
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/replicate"
+	"prord/internal/sim"
+	"prord/internal/trace"
+)
+
+// Config assembles a simulated cluster.
+type Config struct {
+	// Params are the Table 1 system parameters.
+	Params Params
+	// Policy is the request-distribution policy under test.
+	Policy policy.Policy
+	// Features selects PRORD's proactive enhancements.
+	Features Features
+	// Miner supplies the web-log mining products. Required when any
+	// feature is enabled.
+	Miner *mining.Miner
+	// ReplicationInterval is Algorithm 3's period t. Zero defaults to 5s
+	// of simulated time.
+	ReplicationInterval time.Duration
+	// ReplicateConfig tunes Algorithm 3's thresholds.
+	ReplicateConfig replicate.Config
+	// UseGDSF selects GDSF instead of LRU for the demand caches; when
+	// NavPrefetch is on it becomes GDSF-split fed by predicted future
+	// frequency (the [20] extension).
+	UseGDSF bool
+	// Failures injects fail-stop backend crashes. A crashed backend loses
+	// its memory, is removed from the dispatcher's maps and receives no
+	// new work; requests caught on it are retried elsewhere (counted as
+	// failovers). Recovery brings the backend back with a cold cache.
+	Failures []Failure
+	// Power enables PARD-style [3] power management with Table 1's power
+	// parameters.
+	Power PowerParams
+	// Distributors is the number of front-end distributor nodes behind an
+	// L4 switch (Aron et al. [4], §2.1: the scalable content-aware
+	// architecture). Connections stick to one distributor; dispatcher
+	// state is shared. 0 or 1 = the paper's single-front-end design.
+	Distributors int
+	// CPUSharing switches the backend CPUs from FCFS to processor
+	// sharing (time-sliced web server workers); disks stay FCFS.
+	CPUSharing bool
+}
+
+// Failure is one injected backend crash.
+type Failure struct {
+	// Server is the backend index to crash.
+	Server int
+	// At is the virtual time of the crash.
+	At time.Duration
+	// RecoverAt, when positive and after At, restarts the backend (cold)
+	// at that time; zero means it stays down.
+	RecoverAt time.Duration
+}
+
+// backend is one backend server: CPU, disk, internal NIC and memory.
+type backend struct {
+	id    int
+	cpu   sim.Station
+	disk  *sim.FCFS
+	net   *sim.FCFS
+	store cache.Store
+	// served counts requests this backend completed (Fig. 7 sums these).
+	served int64
+}
+
+// Cluster is a runnable simulated web cluster. Build one with New, run a
+// trace with Run; a Cluster is single-use.
+type Cluster struct {
+	cfg      Config
+	eng      *sim.Engine
+	backends []*backend
+	fronts   []*sim.FCFS
+
+	tracker *mining.Tracker
+	replmgr *replicate.Manager
+
+	// Dispatcher and front-end routing state.
+	memory     map[string]map[int]bool // file -> backends holding it in memory
+	prefetched map[string]map[int]bool // file -> backends that prefetched it
+	replicas   map[string]map[int]bool // file -> backends holding Alg.3 replicas
+	inflight   map[string]map[int]int  // file -> backend -> outstanding count
+	lastServer map[int]int             // conn -> backend of previous request
+	lastPage   map[int]string          // conn -> previous main page
+	connPages  map[int][]string        // conn -> recent pages (group prefetch)
+	classified map[int]bool            // conn -> group prefetch already fired
+	// waiters holds demand requests blocked on an in-flight prefetch of
+	// the same file at the same backend (keyed "file|server"), so demand
+	// traffic piggybacks on the prefetch disk read instead of issuing a
+	// duplicate one.
+	waiters map[string][]func()
+
+	met       metrics.Collector
+	files     map[string]int64
+	power     *powerTracker // nil unless Config.Power.Enabled
+	down      []bool        // per backend: currently crashed
+	remaining int           // requests not yet completed
+	firstArr  time.Duration // earliest request issue time
+	lastDone  time.Duration // latest completion time
+	ran       bool
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: Config.Policy is required")
+	}
+	if cfg.Features.Any() && cfg.Miner == nil {
+		return nil, fmt.Errorf("cluster: features %+v need a Miner", cfg.Features)
+	}
+	if cfg.ReplicationInterval <= 0 {
+		cfg.ReplicationInterval = 5 * time.Second
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		eng:        &sim.Engine{},
+		memory:     make(map[string]map[int]bool),
+		prefetched: make(map[string]map[int]bool),
+		replicas:   make(map[string]map[int]bool),
+		inflight:   make(map[string]map[int]int),
+		lastServer: make(map[int]int),
+		lastPage:   make(map[int]string),
+		connPages:  make(map[int][]string),
+		classified: make(map[int]bool),
+		waiters:    make(map[string][]func()),
+	}
+	total := cfg.Params.AppMemory + cfg.Params.PinnedMemory
+	maxPinned := cfg.Params.PinnedMemory
+	if !cfg.Features.Any() {
+		// Baselines never pin, so the whole pool serves demand traffic.
+		maxPinned = 0
+	}
+	if cfg.Distributors < 1 {
+		cfg.Distributors = 1
+		c.cfg.Distributors = 1
+	}
+	for i := 0; i < cfg.Distributors; i++ {
+		c.fronts = append(c.fronts, sim.NewFCFS(c.eng))
+	}
+	for i := 0; i < cfg.Params.Backends; i++ {
+		var store cache.Store
+		if cfg.UseGDSF {
+			// GDSF keeps a fixed split: a GDSF demand partition plus an
+			// LRU pinned partition.
+			demand := total - maxPinned
+			var main cache.Cache
+			if cfg.Features.NavPrefetch {
+				main = cache.NewGDSFSplit(demand, 2)
+			} else {
+				main = cache.NewGDSF(demand)
+			}
+			store = cache.NewPartitioned(main, cache.NewLRU(maxPinned))
+		} else {
+			// LRU mode models Table 1's "pinned memory (variable)": one
+			// shared pool whose pinned bytes are capped but whose free
+			// pinned space serves demand.
+			store = cache.NewPinning(total, maxPinned)
+		}
+		var cpu sim.Station = sim.NewFCFS(c.eng)
+		if cfg.CPUSharing {
+			cpu = sim.NewPS(c.eng)
+		}
+		c.backends = append(c.backends, &backend{
+			id:    i,
+			cpu:   cpu,
+			disk:  sim.NewFCFS(c.eng),
+			net:   sim.NewFCFS(c.eng),
+			store: store,
+		})
+	}
+	c.down = make([]bool, cfg.Params.Backends)
+	for _, f := range cfg.Failures {
+		if f.Server < 0 || f.Server >= cfg.Params.Backends {
+			return nil, fmt.Errorf("cluster: failure for invalid server %d", f.Server)
+		}
+		if f.At < 0 || (f.RecoverAt != 0 && f.RecoverAt <= f.At) {
+			return nil, fmt.Errorf("cluster: failure times invalid (%v, %v)", f.At, f.RecoverAt)
+		}
+	}
+	if cfg.Features.NavPrefetch {
+		nav := cfg.Miner.Nav
+		if nav == nil {
+			nav = cfg.Miner.Model
+		}
+		c.tracker = mining.NewTracker(nav, true)
+	}
+	if cfg.Features.Replication {
+		c.replmgr = replicate.NewManager(cfg.Miner.Ranker, cfg.ReplicateConfig)
+	}
+	if cfg.Power.Enabled {
+		c.power = newPowerTracker(cfg.Power, cfg.Params.Backends)
+	}
+	return c, nil
+}
+
+// crash takes a backend down: its memory is lost and the dispatcher
+// forgets everything about it.
+func (c *Cluster) crash(server int) {
+	c.down[server] = true
+	for file := range c.memory {
+		delSet(c.memory, file, server)
+	}
+	for file := range c.prefetched {
+		delSet(c.prefetched, file, server)
+	}
+	for file := range c.replicas {
+		delSet(c.replicas, file, server)
+	}
+	// Drop resident objects (memory contents are lost on restart). The
+	// store has no iteration API; rebuild it cold by removing every known
+	// file.
+	for file := range c.files {
+		c.backends[server].store.Remove(file)
+	}
+	// Connections pinned to the dead backend must re-bind.
+	for conn, s := range c.lastServer {
+		if s == server {
+			delete(c.lastServer, conn)
+		}
+	}
+}
+
+// recover brings a crashed backend back with a cold cache.
+func (c *Cluster) recoverServer(server int) {
+	c.down[server] = false
+}
+
+// anyUp reports whether at least one backend is alive.
+func (c *Cluster) anyUp() bool {
+	for _, d := range c.down {
+		if !d {
+			return true
+		}
+	}
+	return false
+}
+
+// reroute redirects a decision away from a crashed or hibernating
+// backend to the least-loaded available one, reporting whether any
+// backend is available.
+func (c *Cluster) reroute(d *policy.Decision) bool {
+	best, bestLoad, found := 0, 0, false
+	for i := range c.backends {
+		if c.unavailable(i) {
+			continue
+		}
+		if l := c.Load(i); !found || l < bestLoad {
+			best, bestLoad, found = i, l, true
+		}
+	}
+	if !found && c.power != nil {
+		// Wake-on-demand: no backend is awake (e.g. the last active one
+		// crashed) — wake the lowest-index live sleeper.
+		for i := range c.backends {
+			if c.down[i] || !c.power.asleep[i] {
+				continue
+			}
+			c.power.accrue(c.eng.Now())
+			c.power.asleep[i] = false
+			c.power.wakes++
+			c.backends[i].cpu.Schedule(c.power.params.WakeLatency, nil)
+			best, found = i, true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	d.Server = best
+	d.Handoff = true
+	if d.Source >= 0 && c.unavailable(d.Source) {
+		d.Source = -1
+	}
+	return true
+}
+
+// --- policy.View ---
+
+// NumServers implements policy.View.
+func (c *Cluster) NumServers() int { return len(c.backends) }
+
+// Load implements policy.View: outstanding work at the backend. Crashed
+// and hibernating backends report an effectively infinite load so
+// load-based policies avoid them.
+func (c *Cluster) Load(i int) int {
+	if c.unavailable(i) {
+		return int(^uint(0) >> 2) // "infinite"
+	}
+	b := c.backends[i]
+	return b.cpu.QueueLen() + b.disk.QueueLen()
+}
+
+// ServersWith implements policy.View from the dispatcher's locality map.
+// Hibernating backends keep their (suspend-to-RAM) contents but are not
+// offered as routing targets.
+func (c *Cluster) ServersWith(file string) []int {
+	return c.availableSorted(c.memory[file])
+}
+
+// PrefetchedAt implements policy.View.
+func (c *Cluster) PrefetchedAt(file string) []int {
+	return c.availableSorted(c.prefetched[file])
+}
+
+// availableSorted returns the available (awake, live) members of a server
+// set in ascending order.
+func (c *Cluster) availableSorted(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for s := range m {
+		if !c.unavailable(s) {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InFlight implements policy.View.
+func (c *Cluster) InFlight(file string) (int, bool) {
+	m := c.inflight[file]
+	if len(m) == 0 {
+		return 0, false
+	}
+	best, found := 0, false
+	for s, n := range m {
+		if n <= 0 || c.unavailable(s) {
+			continue
+		}
+		if !found || s < best {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// LastServer implements policy.View.
+func (c *Cluster) LastServer(conn int) (int, bool) {
+	s, ok := c.lastServer[conn]
+	return s, ok
+}
+
+var _ policy.View = (*Cluster)(nil)
+
+// --- replicate.Placer ---
+
+// Holders implements replicate.Placer.
+func (c *Cluster) Holders(file string) []int {
+	return sortedKeys(c.replicas[file])
+}
+
+// Replicate implements replicate.Placer: copy the file over the internal
+// network into the target's pinned memory.
+func (c *Cluster) Replicate(file string, server int) {
+	size, ok := c.files[file]
+	if !ok || trace.IsDynamicPath(file) || c.down[server] {
+		return // unknown, uncacheable, or target crashed
+	}
+	b := c.backends[server]
+	addSet(c.replicas, file, server)
+	c.met.Replications++
+	b.net.Schedule(perKBCost(size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
+		// The replica may have been dropped — or the backend crashed —
+		// while in transit.
+		if !c.replicas[file][server] || c.down[server] {
+			return
+		}
+		evicted, stored := b.store.InsertPinned(file, size)
+		c.noteEvictions(server, evicted)
+		if stored {
+			c.noteResident(server, file)
+		} else {
+			delSet(c.replicas, file, server)
+		}
+	})
+}
+
+// Drop implements replicate.Placer.
+func (c *Cluster) Drop(file string, server int) {
+	delSet(c.replicas, file, server)
+	if c.backends[server].store.RemovePinned(file) {
+		c.noteGone(server, file)
+	}
+}
+
+var _ replicate.Placer = (*Cluster)(nil)
+
+// --- dispatcher bookkeeping ---
+
+// noteResident records that a backend now holds file in memory.
+func (c *Cluster) noteResident(server int, file string) {
+	addSet(c.memory, file, server)
+}
+
+// noteGone records that a backend no longer holds file in memory.
+func (c *Cluster) noteGone(server int, file string) {
+	delSet(c.memory, file, server)
+	delSet(c.prefetched, file, server)
+	delSet(c.replicas, file, server)
+}
+
+// noteEvictions processes cache eviction lists.
+func (c *Cluster) noteEvictions(server int, evicted []cache.Item) {
+	for _, it := range evicted {
+		c.noteGone(server, it.Key)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func addSet(m map[string]map[int]bool, file string, server int) {
+	set, ok := m[file]
+	if !ok {
+		set = make(map[int]bool)
+		m[file] = set
+	}
+	set[server] = true
+}
+
+func delSet(m map[string]map[int]bool, file string, server int) {
+	if set, ok := m[file]; ok {
+		delete(set, server)
+		if len(set) == 0 {
+			delete(m, file)
+		}
+	}
+}

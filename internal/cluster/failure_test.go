@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"prord/internal/policy"
+)
+
+func TestFailureValidation(t *testing.T) {
+	mkCfg := func(f Failure) Config {
+		return Config{Params: smallParams(2, 4, 2), Policy: policy.NewWRR(2),
+			Failures: []Failure{f}}
+	}
+	if _, err := New(mkCfg(Failure{Server: 5, At: time.Second})); err == nil {
+		t.Fatal("invalid server index should fail")
+	}
+	if _, err := New(mkCfg(Failure{Server: 0, At: -time.Second})); err == nil {
+		t.Fatal("negative failure time should fail")
+	}
+	if _, err := New(mkCfg(Failure{Server: 0, At: 2 * time.Second, RecoverAt: time.Second})); err == nil {
+		t.Fatal("recovery before crash should fail")
+	}
+}
+
+func TestBackendCrashAllRequestsStillComplete(t *testing.T) {
+	for _, name := range []string{"WRR", "LARD", "PRORD"} {
+		tr, m := testWorkload(t, 3000, 101)
+		mid := tr.Requests[len(tr.Requests)/2].Time
+		pol, err := policy.ByName(name, 4, policy.Thresholds{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feats := Features{}
+		if name == "PRORD" {
+			feats = AllFeatures()
+		}
+		cl, err := New(Config{
+			Params:   smallParams(4, 4, 2),
+			Policy:   pol,
+			Features: feats,
+			Miner:    m,
+			Failures: []Failure{{Server: 1, At: mid}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Metrics.Completed != int64(len(tr.Requests)) {
+			t.Fatalf("%s: completed %d of %d after crash", name, res.Metrics.Completed, len(tr.Requests))
+		}
+		if res.Metrics.Failed != 0 {
+			t.Fatalf("%s: %d requests dropped with 3 live backends", name, res.Metrics.Failed)
+		}
+		// The crashed backend must end the run empty and forgotten.
+		if cl.backends[1].store.Len() != 0 {
+			t.Fatalf("%s: crashed backend still holds %d objects", name, cl.backends[1].store.Len())
+		}
+		for file, servers := range cl.memory {
+			if servers[1] {
+				t.Fatalf("%s: dispatcher still maps %s to the dead backend", name, file)
+			}
+		}
+	}
+}
+
+func TestBackendCrashCausesFailovers(t *testing.T) {
+	tr, m := testWorkload(t, 3000, 103)
+	// Compress time so plenty of requests are in flight when the crash
+	// hits (uncompressed, the cluster is nearly idle at any instant).
+	for i := range tr.Requests {
+		tr.Requests[i].Time /= 300
+	}
+	mid := tr.Requests[len(tr.Requests)/2].Time
+	cl, err := New(Config{
+		Params:   smallParams(4, 4, 2),
+		Policy:   policy.NewPRORD(policy.Thresholds{}),
+		Features: AllFeatures(),
+		Miner:    m,
+		Failures: []Failure{{Server: 0, At: mid}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Failovers == 0 {
+		t.Fatal("a mid-run crash should catch some requests in flight")
+	}
+	if res.Servers[0].Served >= res.Servers[1].Served {
+		t.Fatalf("crashed backend served %d, live one %d — expected the crash to cut its share",
+			res.Servers[0].Served, res.Servers[1].Served)
+	}
+}
+
+func TestBackendRecoveryServesAgain(t *testing.T) {
+	tr, m := testWorkload(t, 4000, 107)
+	third := tr.Requests[len(tr.Requests)/3].Time
+	twoThirds := tr.Requests[2*len(tr.Requests)/3].Time
+	cl, err := New(Config{
+		Params:   smallParams(3, 4, 2),
+		Policy:   policy.NewLARD(policy.Thresholds{}),
+		Miner:    m,
+		Failures: []Failure{{Server: 2, At: third, RecoverAt: twoThirds}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Completed != int64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d", res.Metrics.Completed, len(tr.Requests))
+	}
+	// After recovery the backend should have picked up work again: its
+	// cache was cleared at the crash, so any resident object proves
+	// post-recovery service.
+	if cl.backends[2].store.Len() == 0 {
+		t.Fatal("recovered backend never served again")
+	}
+}
+
+func TestWholeClusterDownDropsRequests(t *testing.T) {
+	tr, _ := testWorkload(t, 1000, 109)
+	mid := tr.Requests[len(tr.Requests)/2].Time
+	cl, err := New(Config{
+		Params: smallParams(2, 4, 2),
+		Policy: policy.NewWRR(2),
+		Failures: []Failure{
+			{Server: 0, At: mid},
+			{Server: 1, At: mid},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Failed == 0 {
+		t.Fatal("with every backend down, requests must be dropped")
+	}
+	if res.Metrics.Completed+res.Metrics.Failed != int64(len(tr.Requests)) {
+		t.Fatalf("completed %d + failed %d != %d",
+			res.Metrics.Completed, res.Metrics.Failed, len(tr.Requests))
+	}
+}
+
+func TestCrashIsDeterministic(t *testing.T) {
+	run := func() *Result {
+		tr, m := testWorkload(t, 2000, 113)
+		mid := tr.Requests[len(tr.Requests)/2].Time
+		cl, err := New(Config{
+			Params:   smallParams(4, 4, 2),
+			Policy:   policy.NewPRORD(policy.Thresholds{}),
+			Features: AllFeatures(),
+			Miner:    m,
+			Failures: []Failure{{Server: 1, At: mid, RecoverAt: mid + 500*time.Millisecond}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Metrics != b.Metrics {
+		t.Fatalf("crash runs must be deterministic:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}

@@ -1,0 +1,490 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// session is the closed-loop replay state of one persistent connection:
+// request i+1 is issued no earlier than its trace offset after request i,
+// and never before request i's response arrives (HTTP/1.1 pipelining is
+// not modeled, matching the paper's sequential persistent connections).
+type session struct {
+	id   int
+	reqs []int // indices into the trace's request slice
+	next int
+}
+
+// Run replays tr against the cluster and returns the measured result.
+// A cluster is single-use: Run can be called once.
+func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run called twice")
+	}
+	c.ran = true
+	if len(tr.Requests) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	c.files = tr.Files
+	c.remaining = len(tr.Requests)
+
+	// Group requests by session preserving time order. Scheduling order
+	// must be deterministic (the event heap breaks time ties FIFO), so
+	// sort sessions by first-request time, then id.
+	bySession := tr.Sessions()
+	sessions := make([]*session, 0, len(bySession))
+	for id, idxs := range bySession {
+		sessions = append(sessions, &session{id: id, reqs: idxs})
+	}
+	sort.Slice(sessions, func(i, j int) bool {
+		ti := tr.Requests[sessions[i].reqs[0]].Time
+		tj := tr.Requests[sessions[j].reqs[0]].Time
+		if ti != tj {
+			return ti < tj
+		}
+		return sessions[i].id < sessions[j].id
+	})
+	c.firstArr = -1
+	for _, s := range sessions {
+		s := s
+		start := tr.Requests[s.reqs[0]].Time
+		if c.firstArr < 0 || start < c.firstArr {
+			c.firstArr = start
+		}
+		// TCP connection establishment precedes the first request.
+		c.eng.At(start, func() {
+			c.eng.After(c.cfg.Params.ConnectionLatency, func() {
+				c.issue(tr, s)
+			})
+		})
+	}
+	// Injected backend failures and recoveries.
+	for _, f := range c.cfg.Failures {
+		f := f
+		c.eng.At(f.At, func() { c.crash(f.Server) })
+		if f.RecoverAt > 0 {
+			c.eng.At(f.RecoverAt, func() { c.recoverServer(f.Server) })
+		}
+	}
+	// The PARD-style power controller, kept alive only while work remains.
+	if c.power != nil {
+		var tick func()
+		tick = func() {
+			if c.remaining <= 0 {
+				return
+			}
+			c.powerTick()
+			c.eng.After(c.power.params.Interval, tick)
+		}
+		c.eng.After(c.power.params.Interval, tick)
+	}
+	// Periodic replication (Algorithm 3's "every t seconds"), kept alive
+	// only while work remains so the event queue can drain.
+	if c.replmgr != nil {
+		var tick func()
+		tick = func() {
+			if c.remaining <= 0 {
+				return
+			}
+			c.replmgr.Step(c)
+			c.eng.After(c.cfg.ReplicationInterval, tick)
+		}
+		c.eng.After(c.cfg.ReplicationInterval, tick)
+	}
+	c.eng.Run()
+	if c.remaining != 0 {
+		return nil, fmt.Errorf("cluster: simulation drained with %d requests outstanding", c.remaining)
+	}
+	return c.result(tr), nil
+}
+
+// issue sends session s's next request into the cluster.
+func (c *Cluster) issue(tr *trace.Trace, s *session) {
+	r := &tr.Requests[s.reqs[s.next]]
+	issued := c.eng.Now()
+	c.processRequest(tr, s, r, issued)
+}
+
+// scheduleNext arranges the session's following request after the current
+// one completes at time done.
+func (c *Cluster) scheduleNext(tr *trace.Trace, s *session) {
+	s.next++
+	if s.next >= len(s.reqs) {
+		// Connection closes; clean up per-connection state.
+		delete(c.lastServer, s.id)
+		delete(c.lastPage, s.id)
+		delete(c.connPages, s.id)
+		delete(c.classified, s.id)
+		if c.tracker != nil {
+			c.tracker.Close(s.id)
+		}
+		if cc, ok := c.cfg.Policy.(policy.ConnCloser); ok {
+			cc.ConnClose(s.id)
+		}
+		return
+	}
+	gap := tr.Requests[s.reqs[s.next]].Time - tr.Requests[s.reqs[s.next-1]].Time
+	if gap < 0 {
+		gap = 0
+	}
+	c.eng.After(gap, func() { c.issue(tr, s) })
+}
+
+// classifyEmbedded is the distributor's content analysis: does this
+// request fetch an embedded object of the connection's previous main
+// page? It uses mined bundle knowledge, not trace ground truth.
+func (c *Cluster) classifyEmbedded(conn int, path string) bool {
+	if !c.cfg.Features.Bundle || c.cfg.Miner == nil {
+		return false
+	}
+	last := c.lastPage[conn]
+	if last == "" || !trace.IsEmbeddedPath(path) {
+		return false
+	}
+	parent, known := c.cfg.Miner.Bundles.Parent(path)
+	return known && parent == last
+}
+
+// processRequest runs the Fig. 4 front-end flow and hands the request to
+// a backend.
+func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, issued time.Duration) {
+	last, haveLast := c.lastServer[s.id]
+	preq := policy.Request{
+		Conn:     s.id,
+		Path:     r.Path,
+		Size:     r.Size,
+		Embedded: c.classifyEmbedded(s.id, r.Path),
+		First:    !haveLast,
+	}
+	// The forward module (Fig. 4's dashed box) lives in the front-end
+	// flow, outside the policy: with the bundle enhancement enabled,
+	// embedded objects follow the previous request directly, whatever the
+	// distribution policy. This is what turns plain LARD into the paper's
+	// "LARD-bundle" ablation.
+	var d policy.Decision
+	if preq.Embedded && haveLast && !c.unavailable(last) {
+		d = policy.Decision{Server: last, Source: -1}
+	} else {
+		d = c.cfg.Policy.Route(preq, c)
+	}
+	if d.Server < 0 || d.Server >= len(c.backends) {
+		panic(fmt.Sprintf("cluster: policy %s routed to invalid server %d", c.cfg.Policy.Name(), d.Server))
+	}
+	// Policies that ignore load (e.g. WRR) may still pick a crashed or
+	// hibernating backend; the front-end reroutes to an available one.
+	if c.unavailable(d.Server) && !c.reroute(&d) {
+		// Whole cluster down: the request is lost.
+		c.met.Failed++
+		c.remaining--
+		c.scheduleNext(tr, s)
+		return
+	}
+	if d.Dispatch {
+		c.met.Dispatches++
+	} else if haveLast {
+		c.met.DirectForwards++
+	}
+	if d.Handoff {
+		c.met.Handoffs++
+	}
+	// Front-end occupancy: analysis + dispatcher consultation + handoff.
+	cost := c.cfg.Params.FrontPerRequest
+	if d.Dispatch {
+		cost += c.cfg.Params.DispatchLatency
+	}
+	if d.Handoff {
+		cost += c.cfg.Params.HandoffLatency
+	}
+	// Record routing state immediately: subsequent requests on this
+	// connection are only issued after this one completes, but prefetch
+	// and replication events interleave.
+	c.lastServer[s.id] = d.Server
+	if !trace.IsEmbeddedPath(r.Path) {
+		c.lastPage[s.id] = r.Path
+	}
+	incFlight(c.inflight, r.Path, d.Server)
+
+	if c.replmgr != nil {
+		c.replmgr.Ranker().Observe(r.Path)
+	}
+
+	// The L4 switch pins each connection to one distributor.
+	front := c.fronts[s.id%len(c.fronts)]
+	front.Schedule(cost, func(_, _ time.Duration) {
+		c.arriveAtBackend(tr, s, r, d, issued)
+	})
+}
+
+// arriveAtBackend resolves the content (memory hit, remote memory, or
+// disk) and then serves the response through the backend CPU.
+func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request, d policy.Decision, issued time.Duration) {
+	b := c.backends[d.Server]
+	serve := func() {
+		b.cpu.Schedule(
+			c.cfg.Params.CPUPerRequest+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
+			func(_, end time.Duration) { c.complete(tr, s, r, d.Server, issued, end) },
+		)
+	}
+	switch {
+	case r.Dynamic || trace.IsDynamicPath(r.Path):
+		// Generated content: no cache, no disk — per-request CPU work.
+		c.met.DynamicServed++
+		b.cpu.Schedule(
+			c.cfg.Params.DynamicCPU+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
+			func(_, end time.Duration) { c.complete(tr, s, r, d.Server, issued, end) },
+		)
+		return
+	case b.store.Touch(r.Path):
+		c.met.MemoryHits++
+		if c.prefetched[r.Path][d.Server] {
+			c.met.PrefetchHits++
+			delSet(c.prefetched, r.Path, d.Server)
+		}
+		serve()
+	case d.Source >= 0 && d.Source != d.Server && c.backends[d.Source].store.Contains(r.Path):
+		// Back-end forwarding: pull the bytes from the remote memory over
+		// the internal network. No disk access, so it counts as a memory
+		// hit for locality purposes.
+		c.met.MemoryHits++
+		c.met.RemoteFetches++
+		b.net.Schedule(perKBCost(r.Size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
+			serve()
+		})
+	case c.prefetched[r.Path][d.Server]:
+		// A prefetch of this file is already reading the disk here:
+		// piggyback on it rather than issuing a duplicate read. The
+		// request still waited on disk, so it counts as a miss, but the
+		// prefetch was useful.
+		c.met.MemoryMisses++
+		c.met.PrefetchHits++
+		key := waiterKey(r.Path, d.Server)
+		c.waiters[key] = append(c.waiters[key], serve)
+	default:
+		c.met.MemoryMisses++
+		b.disk.Schedule(
+			c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB),
+			func(_, _ time.Duration) {
+				if c.down[d.Server] {
+					serve() // completion path handles the retry
+					return
+				}
+				evicted, stored := b.store.Insert(r.Path, r.Size)
+				c.noteEvictions(d.Server, evicted)
+				if stored {
+					c.noteResident(d.Server, r.Path)
+				}
+				serve()
+			},
+		)
+	}
+}
+
+// complete finishes one request: metrics, proactive hooks, next issue.
+func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration) {
+	if c.down[server] {
+		// The backend crashed while serving: the response never reached
+		// the client, which retries through the front-end.
+		decFlight(c.inflight, r.Path, server)
+		if !c.anyUp() {
+			c.met.Failed++
+			c.remaining--
+			c.scheduleNext(tr, s)
+			return
+		}
+		c.met.Failovers++
+		c.processRequest(tr, s, r, issued)
+		return
+	}
+	b := c.backends[server]
+	b.served++
+	c.met.Completed++
+	c.met.BytesServed += r.Size
+	c.met.Response.Observe(end - issued)
+	if end > c.lastDone {
+		c.lastDone = end
+	}
+	decFlight(c.inflight, r.Path, server)
+	c.remaining--
+
+	if !trace.IsEmbeddedPath(r.Path) {
+		c.proactiveHooks(s.id, server, r.Path)
+	}
+	c.scheduleNext(tr, s)
+}
+
+// proactiveHooks runs PRORD's backend-side prefetching after a main page
+// is served: bundle prefetch of the page's embedded objects (§4.1,
+// "when a request for a main page arrives at the backend, the embedded
+// objects associated with main page are pre-fetched into the cache") and
+// navigation prefetch of the predicted next page (Algorithm 2).
+func (c *Cluster) proactiveHooks(conn, server int, page string) {
+	if c.cfg.Features.Bundle {
+		c.prefetchBundle(server, c.cfg.Miner.Bundles.Objects(page))
+	}
+	if c.cfg.Features.NavPrefetch && c.tracker != nil {
+		pred, ok := c.tracker.Observe(conn, page)
+		if ok && c.cfg.Miner.ShouldPrefetch(pred) {
+			// §4.1: the backend prefetches "a specific group of data
+			// containing currently requested pages" — the predicted page
+			// together with its embedded objects.
+			group := append([]string{pred.Page}, c.cfg.Miner.Bundles.Objects(pred.Page)...)
+			c.prefetchNav(server, group)
+		}
+	}
+	if c.cfg.Features.GroupPrefetch {
+		c.groupPrefetch(conn, server, page)
+	}
+}
+
+// groupPrefetch implements §4.1's category-driven prefetching: once a
+// connection's access path identifies the user's group with confidence
+// ("the longer the comparison paths are, the better the confidence of
+// the predicted category"), the group's characteristic pages are pulled
+// into the serving backend's memory. Fires at most once per connection.
+func (c *Cluster) groupPrefetch(conn, server int, page string) {
+	cat := c.cfg.Miner.Categorizer
+	if cat == nil || c.classified[conn] {
+		return
+	}
+	pages := append(c.connPages[conn], page)
+	if len(pages) > 8 {
+		pages = pages[len(pages)-8:]
+	}
+	c.connPages[conn] = pages
+	if len(pages) < 2 {
+		return
+	}
+	group, conf := cat.Classify(pages)
+	if conf < 0.8 {
+		return
+	}
+	c.classified[conn] = true
+	c.prefetchNav(server, cat.TopPages(group, 4))
+}
+
+func waiterKey(file string, server int) string {
+	return fmt.Sprintf("%s|%d", file, server)
+}
+
+// admitPrefetch registers a prefetch placement if the file is absent and
+// not already on its way; it reports whether the caller should read it.
+func (c *Cluster) admitPrefetch(server int, file string) (int64, bool) {
+	size, known := c.files[file]
+	if !known {
+		return 0, false
+	}
+	if trace.IsDynamicPath(file) {
+		return 0, false // generated content cannot be prefetched
+	}
+	if c.backends[server].store.Contains(file) {
+		return 0, false
+	}
+	if c.prefetched[file][server] {
+		return 0, false // already being prefetched here
+	}
+	addSet(c.prefetched, file, server)
+	c.met.Prefetches++
+	return size, true
+}
+
+// finishPrefetch inserts a completed prefetch into pinned memory and
+// releases any demand requests that piggybacked on the read.
+func (c *Cluster) finishPrefetch(server int, file string, size int64) {
+	key := waiterKey(file, server)
+	release := func() {
+		ws := c.waiters[key]
+		delete(c.waiters, key)
+		for _, w := range ws {
+			w()
+		}
+	}
+	if !c.prefetched[file][server] || c.down[server] {
+		release() // placement consumed/invalidated while reading
+		return
+	}
+	evicted, stored := c.backends[server].store.InsertPinned(file, size)
+	c.noteEvictions(server, evicted)
+	if stored {
+		c.noteResident(server, file)
+	} else {
+		delSet(c.prefetched, file, server)
+	}
+	release()
+}
+
+// prefetchBundle pulls a page's missing embedded objects into pinned
+// memory with a single disk operation: bundles are stored together, so
+// the objects come off the disk in one near-sequential read ([7]'s
+// premise). Bundle prefetches are not throttled — their objects are
+// requested by the browser within milliseconds.
+func (c *Cluster) prefetchBundle(server int, objects []string) {
+	b := c.backends[server]
+	type item struct {
+		file string
+		size int64
+	}
+	var missing []item
+	var bytes int64
+	for _, obj := range objects {
+		if size, ok := c.admitPrefetch(server, obj); ok {
+			missing = append(missing, item{obj, size})
+			bytes += size
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	b.disk.Schedule(
+		c.cfg.Params.DiskFixed+perKBCost(bytes, c.cfg.Params.DiskPerKB),
+		func(_, _ time.Duration) {
+			for _, it := range missing {
+				c.finishPrefetch(server, it.file, it.size)
+			}
+		},
+	)
+}
+
+// prefetchNav pulls the predicted next page group (page + embedded
+// objects) from the backend's disk into its pinned memory with one read.
+// It skips entirely when the disk is loaded with demand work, and skips
+// files that are already resident on ANY backend: the dispatcher routes
+// requests to existing holders, so prefetching a duplicate copy would
+// only churn the disk and evict useful memory.
+func (c *Cluster) prefetchNav(server int, group []string) {
+	b := c.backends[server]
+	if lim := c.cfg.Params.PrefetchQueueLimit; lim > 0 && b.disk.QueueLen() > lim {
+		return // disk busy with demand traffic; skip this prefetch
+	}
+	cold := group[:0:0]
+	for _, file := range group {
+		if len(c.memory[file]) == 0 {
+			cold = append(cold, file)
+		}
+	}
+	c.prefetchBundle(server, cold)
+}
+
+func incFlight(m map[string]map[int]int, file string, server int) {
+	set, ok := m[file]
+	if !ok {
+		set = make(map[int]int)
+		m[file] = set
+	}
+	set[server]++
+}
+
+func decFlight(m map[string]map[int]int, file string, server int) {
+	if set, ok := m[file]; ok {
+		set[server]--
+		if set[server] <= 0 {
+			delete(set, server)
+		}
+		if len(set) == 0 {
+			delete(m, file)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment outcome: one paper table or figure
+// re-expressed as rows of text cells, plus the raw values for programmatic
+// checks.
+type Table struct {
+	// ID is the paper artifact this regenerates ("fig6", "table1", ...).
+	ID string
+	// Title is the caption shown above the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the formatted cells.
+	Rows [][]string
+	// Values holds the raw numbers keyed [row label][column label] for
+	// assertions in tests and benches.
+	Values map[string]map[string]float64
+	// Notes are free-form caveats printed under the table.
+	Notes []string
+}
+
+// set records a raw value and is the canonical way figure builders fill
+// Values.
+func (t *Table) set(row, col string, v float64) {
+	if t.Values == nil {
+		t.Values = make(map[string]map[string]float64)
+	}
+	m, ok := t.Values[row]
+	if !ok {
+		m = make(map[string]float64)
+		t.Values[row] = m
+	}
+	m[col] = v
+}
+
+// Get returns the raw value at (row, col) and whether it exists.
+func (t *Table) Get(row, col string) (float64, bool) {
+	m, ok := t.Values[row]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[col]
+	return v, ok
+}
+
+// MustGet returns the raw value at (row, col), panicking if absent; it is
+// for benches and examples where absence is a programming error.
+func (t *Table) MustGet(row, col string) float64 {
+	v, ok := t.Get(row, col)
+	if !ok {
+		panic(fmt.Sprintf("experiment: table %s has no value at (%q, %q)", t.ID, row, col))
+	}
+	return v
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

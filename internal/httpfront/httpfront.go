@@ -1,0 +1,373 @@
+// Package httpfront is a working HTTP/1.1 front-end distributor driven by
+// the same distribution policies as the simulator: a reverse proxy that
+// routes each request to one of a set of backend servers using WRR, LARD
+// or PRORD semantics, classifies embedded objects against mined bundles,
+// and issues prefetch hints to backends for predicted next pages.
+//
+// TCP handoff needs kernel support the paper assumes; the user-space
+// equivalent is reverse proxying, which this package uses. The
+// dispatcher's locality knowledge is approximated at the front-end: a
+// backend is assumed to hold a file in memory if it served (or was asked
+// to prefetch) that file recently.
+package httpfront
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+
+	"prord/internal/cache"
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// PrefetchHeader marks a front-end-initiated prefetch request; backends
+// should warm their caches and reply without a body when they see it.
+const PrefetchHeader = "X-Prord-Prefetch"
+
+// BackendHeader reports which backend served a proxied response.
+const BackendHeader = "X-Prord-Backend"
+
+// Config assembles a Distributor.
+type Config struct {
+	// Backends are the backend server base URLs. At least one.
+	Backends []*url.URL
+	// Policy routes requests; nil defaults to PRORD.
+	Policy policy.Policy
+	// Miner supplies bundles and the navigation model; optional. Without
+	// it, embedded-object classification falls back to path extensions
+	// and prefetching is disabled.
+	Miner *mining.Miner
+	// Prefetch enables navigation prefetch hints to backends. Needs Miner.
+	Prefetch bool
+	// LocalityEntries bounds the per-backend locality map (how many
+	// recently-served files the dispatcher remembers per backend).
+	// Default 4096.
+	LocalityEntries int64
+	// MaxSessions bounds tracked client sessions. Default 65536.
+	MaxSessions int
+}
+
+// Stats are the distributor's live counters, mirroring the simulator's
+// metrics.
+type Stats struct {
+	Requests       int64 `json:"requests"`
+	Dispatches     int64 `json:"dispatches"`
+	DirectForwards int64 `json:"direct_forwards"`
+	Handoffs       int64 `json:"handoffs"`
+	Prefetches     int64 `json:"prefetches"`
+	Errors         int64 `json:"errors"`
+}
+
+// Distributor is the front-end: an http.Handler that proxies each request
+// to a backend chosen by the distribution policy.
+type Distributor struct {
+	cfg      Config
+	proxies  []*httputil.ReverseProxy
+	pol      policy.Policy
+	tracker  *mining.Tracker
+	prefetch chan prefetchJob
+
+	mu         sync.Mutex
+	loads      []int        // outstanding requests per backend
+	locality   []*cache.LRU // per backend: recently-served files
+	inflight   map[string]map[int]int
+	prefetched map[string]map[int]bool
+	sessions   map[string]*sessionState
+	byID       map[int]*sessionState
+	sessionSeq int
+	stats      Stats
+}
+
+type sessionState struct {
+	id       int
+	server   int
+	hasSrv   bool
+	lastPage string
+}
+
+type prefetchJob struct {
+	server int
+	path   string
+}
+
+// New builds a Distributor.
+func New(cfg Config) (*Distributor, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("httpfront: at least one backend required")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.NewPRORD(policy.Thresholds{})
+	}
+	if cfg.LocalityEntries <= 0 {
+		cfg.LocalityEntries = 4096
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 65536
+	}
+	if cfg.Prefetch && cfg.Miner == nil {
+		return nil, fmt.Errorf("httpfront: Prefetch requires a Miner")
+	}
+	d := &Distributor{
+		cfg:        cfg,
+		pol:        cfg.Policy,
+		loads:      make([]int, len(cfg.Backends)),
+		inflight:   make(map[string]map[int]int),
+		prefetched: make(map[string]map[int]bool),
+		sessions:   make(map[string]*sessionState),
+		byID:       make(map[int]*sessionState),
+	}
+	for _, u := range cfg.Backends {
+		d.proxies = append(d.proxies, httputil.NewSingleHostReverseProxy(u))
+		// The locality map counts entries, not bytes: every file weighs 1.
+		d.locality = append(d.locality, cache.NewLRU(cfg.LocalityEntries))
+	}
+	if cfg.Miner != nil && cfg.Prefetch {
+		d.tracker = mining.NewTracker(cfg.Miner.Model, true)
+		d.prefetch = make(chan prefetchJob, 256)
+		go d.prefetchLoop()
+	}
+	return d, nil
+}
+
+// --- policy.View (callers must hold d.mu) ---
+
+type lockedView Distributor
+
+func (v *lockedView) NumServers() int { return len(v.loads) }
+func (v *lockedView) Load(i int) int  { return v.loads[i] }
+
+func (v *lockedView) ServersWith(file string) []int {
+	var out []int
+	for i, l := range v.locality {
+		if l.Contains(file) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (v *lockedView) PrefetchedAt(file string) []int {
+	var out []int
+	for s := range v.prefetched[file] {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (v *lockedView) InFlight(file string) (int, bool) {
+	best, found := 0, false
+	for s, n := range v.inflight[file] {
+		if n > 0 && (!found || s < best) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+func (v *lockedView) LastServer(conn int) (int, bool) {
+	if st, ok := v.byID[conn]; ok && st.hasSrv {
+		return st.server, true
+	}
+	return 0, false
+}
+
+// session returns (creating if needed) the session state for a client,
+// keyed by its transport connection (RemoteAddr is stable per keep-alive
+// connection).
+func (d *Distributor) session(key string) *sessionState {
+	st, ok := d.sessions[key]
+	if !ok {
+		if len(d.sessions) >= d.cfg.MaxSessions {
+			// Simple pressure valve: forget everything. Sessions are
+			// soft state; the only cost is a few extra dispatches.
+			d.sessions = make(map[string]*sessionState)
+			d.byID = make(map[int]*sessionState)
+		}
+		d.sessionSeq++
+		st = &sessionState{id: d.sessionSeq}
+		d.sessions[key] = st
+		d.byID[st.id] = st
+	}
+	return st
+}
+
+// route performs the Fig. 4 front-end flow for one request and returns
+// the chosen backend plus the prefetch jobs to enqueue (predicted next
+// page and the current page's bundle objects). It mutates the routing
+// state under d.mu.
+func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetchJob) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	st := d.session(sessionKey)
+	d.stats.Requests++
+
+	embedded := false
+	if d.cfg.Miner != nil && st.lastPage != "" && trace.IsEmbeddedPath(path) {
+		if parent, ok := d.cfg.Miner.Bundles.Parent(path); ok && parent == st.lastPage {
+			embedded = true
+		}
+	}
+
+	var dec policy.Decision
+	if embedded && st.hasSrv {
+		dec = policy.Decision{Server: st.server, Source: -1}
+	} else {
+		dec = d.pol.Route(policy.Request{
+			Conn:     st.id,
+			Path:     path,
+			Embedded: embedded,
+			First:    !st.hasSrv,
+		}, (*lockedView)(d))
+	}
+	if dec.Dispatch {
+		d.stats.Dispatches++
+	} else if st.hasSrv {
+		d.stats.DirectForwards++
+	}
+	if st.hasSrv && st.server != dec.Server {
+		d.stats.Handoffs++
+	} else if !st.hasSrv {
+		d.stats.Handoffs++
+	}
+	st.server = dec.Server
+	st.hasSrv = true
+	if !trace.IsEmbeddedPath(path) {
+		st.lastPage = path
+	}
+
+	d.loads[dec.Server]++
+	m, ok := d.inflight[path]
+	if !ok {
+		m = make(map[int]int)
+		d.inflight[path] = m
+	}
+	m[dec.Server]++
+
+	// Record expected locality: the backend will have the file hot after
+	// serving it.
+	d.locality[dec.Server].Insert(path, 1)
+	if set, ok := d.prefetched[path]; ok {
+		delete(set, dec.Server)
+		if len(set) == 0 {
+			delete(d.prefetched, path)
+		}
+	}
+
+	// Proactive hints (PRORD's backend-side prefetching over HTTP): the
+	// current page's bundle objects, plus the predicted next page.
+	if d.tracker != nil && !trace.IsEmbeddedPath(path) {
+		admit := func(file string) {
+			if d.locality[dec.Server].Contains(file) || d.prefetched[file][dec.Server] {
+				return
+			}
+			addTo(d.prefetched, file, dec.Server)
+			d.stats.Prefetches++
+			jobs = append(jobs, prefetchJob{server: dec.Server, path: file})
+		}
+		for _, obj := range d.cfg.Miner.Bundles.Objects(path) {
+			admit(obj)
+		}
+		if pred, ok := d.tracker.Observe(st.id, path); ok && d.cfg.Miner.ShouldPrefetch(pred) {
+			admit(pred.Page)
+		}
+	}
+	return dec.Server, jobs
+}
+
+func addTo(m map[string]map[int]bool, file string, server int) {
+	set, ok := m[file]
+	if !ok {
+		set = make(map[int]bool)
+		m[file] = set
+	}
+	set[server] = true
+}
+
+// done releases routing state after the proxied response completes.
+func (d *Distributor) done(server int, path string, failed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loads[server]--
+	if m, ok := d.inflight[path]; ok {
+		m[server]--
+		if m[server] <= 0 {
+			delete(m, server)
+		}
+		if len(m) == 0 {
+			delete(d.inflight, path)
+		}
+	}
+	if failed {
+		d.stats.Errors++
+		d.locality[server].Remove(path)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	server, jobs := d.route(r.RemoteAddr, r.URL.Path)
+	for _, job := range jobs {
+		select {
+		case d.prefetch <- job:
+		default:
+			// The prefetch queue is best-effort; drop under pressure.
+		}
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	rec.Header().Set(BackendHeader, fmt.Sprintf("%d", server))
+	d.proxies[server].ServeHTTP(rec, r)
+	d.done(server, r.URL.Path, rec.status >= http.StatusInternalServerError)
+}
+
+// statusRecorder captures the proxied status code.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// prefetchLoop sends prefetch hints to backends in the background.
+func (d *Distributor) prefetchLoop() {
+	client := &http.Client{}
+	for job := range d.prefetch {
+		u := *d.cfg.Backends[job.server]
+		u.Path = job.path
+		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(PrefetchHeader, "1")
+		resp, err := client.Do(req)
+		if err != nil {
+			d.mu.Lock()
+			d.stats.Errors++
+			d.mu.Unlock()
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+// Stats returns a snapshot of the live counters.
+func (d *Distributor) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Close stops the background prefetcher.
+func (d *Distributor) Close() {
+	if d.prefetch != nil {
+		close(d.prefetch)
+		d.prefetch = nil
+	}
+}

@@ -1,0 +1,369 @@
+package httpfront
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"prord/internal/mining"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// testFiles is a tiny site: two pages with one embedded object each.
+var testFiles = map[string]int64{
+	"/a.html": 400,
+	"/a.gif":  100,
+	"/b.html": 300,
+	"/b.gif":  120,
+}
+
+// testMiner trains a miner that knows a.html -> b.html navigation and the
+// page->object bundles.
+func testMiner() *mining.Miner {
+	tr := &trace.Trace{Name: "t", Files: testFiles}
+	add := func(sess int, path, parent string) {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Session: sess, Client: "c", Path: path, Size: testFiles[path],
+			Embedded: parent != "", Parent: parent, Group: -1,
+		})
+	}
+	for s := 0; s < 5; s++ {
+		add(s, "/a.html", "")
+		add(s, "/a.gif", "/a.html")
+		add(s, "/b.html", "")
+		add(s, "/b.gif", "/b.html")
+	}
+	return mining.Mine(tr, mining.Options{})
+}
+
+// testCluster spins up n demo backends plus a distributor in front.
+func testCluster(t *testing.T, n int, cfg Config) (*Distributor, *httptest.Server, []*DemoBackend) {
+	t.Helper()
+	var backends []*DemoBackend
+	for i := 0; i < n; i++ {
+		b := NewDemoBackend("b"+strconv.Itoa(i), testFiles, 1<<20, 0)
+		backends = append(backends, b)
+		srv := httptest.NewServer(b)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, u)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	front := httptest.NewServer(d)
+	t.Cleanup(front.Close)
+	return d, front, backends
+}
+
+// get issues a GET over a shared client (keep-alive => same session).
+func get(t *testing.T, client *http.Client, base, path string) *http.Response {
+	t.Helper()
+	resp, err := client.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no backends should fail")
+	}
+	u, _ := url.Parse("http://localhost:1")
+	if _, err := New(Config{Backends: []*url.URL{u}, Prefetch: true}); err == nil {
+		t.Fatal("Prefetch without Miner should fail")
+	}
+}
+
+func TestProxyServesContent(t *testing.T) {
+	_, front, _ := testCluster(t, 2, Config{Miner: testMiner()})
+	client := front.Client()
+	resp := get(t, client, front.URL, "/a.html")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.ContentLength != 400 {
+		t.Fatalf("ContentLength = %d, want 400", resp.ContentLength)
+	}
+	if resp.Header.Get(BackendHeader) == "" {
+		t.Fatal("missing backend header")
+	}
+	resp404 := get(t, client, front.URL, "/nope.html")
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing file status = %d", resp404.StatusCode)
+	}
+}
+
+func TestEmbeddedObjectFollowsPage(t *testing.T) {
+	d, front, _ := testCluster(t, 3, Config{Miner: testMiner()})
+	client := front.Client()
+	page := get(t, client, front.URL, "/a.html")
+	obj := get(t, client, front.URL, "/a.gif")
+	if page.Header.Get(BackendHeader) != obj.Header.Get(BackendHeader) {
+		t.Fatalf("embedded object served by %s, page by %s",
+			obj.Header.Get(BackendHeader), page.Header.Get(BackendHeader))
+	}
+	s := d.Stats()
+	if s.DirectForwards == 0 {
+		t.Fatalf("embedded object should be a direct forward: %+v", s)
+	}
+}
+
+func TestLocalityRouting(t *testing.T) {
+	// Two different keep-alive clients requesting the same page should
+	// land on the same backend under PRORD (locality via dispatcher map).
+	_, front, _ := testCluster(t, 4, Config{Miner: testMiner()})
+	c1 := &http.Client{}
+	c2 := &http.Client{}
+	defer c1.CloseIdleConnections()
+	defer c2.CloseIdleConnections()
+	r1 := get(t, c1, front.URL, "/b.html")
+	r2 := get(t, c2, front.URL, "/b.html")
+	if r1.Header.Get(BackendHeader) != r2.Header.Get(BackendHeader) {
+		t.Fatalf("same file routed to %s and %s",
+			r1.Header.Get(BackendHeader), r2.Header.Get(BackendHeader))
+	}
+}
+
+func TestWRRRoundRobinOverClients(t *testing.T) {
+	_, front, _ := testCluster(t, 3, Config{Policy: policy.NewWRR(3)})
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		c := &http.Client{}
+		r := get(t, c, front.URL, "/a.html")
+		seen[r.Header.Get(BackendHeader)] = true
+		c.CloseIdleConnections()
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 fresh connections should hit 3 backends, got %v", seen)
+	}
+}
+
+func TestPrefetchHintReachesBackend(t *testing.T) {
+	d, front, backends := testCluster(t, 2, Config{Miner: testMiner(), Prefetch: true})
+	client := front.Client()
+	// Visiting a.html should predict b.html (trained 5x) and hint it.
+	get(t, client, front.URL, "/a.html")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var prefetches int64
+		for _, b := range backends {
+			prefetches += b.Stats().Prefetches
+		}
+		if prefetches > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no backend received a prefetch hint; stats %+v", d.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Stats().Prefetches == 0 {
+		t.Fatal("distributor did not count the prefetch")
+	}
+}
+
+func TestBackendCacheWarming(t *testing.T) {
+	b := NewDemoBackend("x", testFiles, 1<<20, 0)
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	// Prefetch then demand: the demand request must be a hit.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/b.html", nil)
+	req.Header.Set(PrefetchHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("prefetch status = %d, want 204", resp.StatusCode)
+	}
+	resp2, err := http.Get(srv.URL + "/b.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get(CacheStateHeader); got != "hit" {
+		t.Fatalf("after prefetch, cache state = %q, want hit", got)
+	}
+	st := b.Stats()
+	if st.Prefetches != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBackendMissThenHit(t *testing.T) {
+	b := NewDemoBackend("x", testFiles, 1<<20, 0)
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	first, _ := http.Get(srv.URL + "/a.html")
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	second, _ := http.Get(srv.URL + "/a.html")
+	io.Copy(io.Discard, second.Body)
+	second.Body.Close()
+	if first.Header.Get(CacheStateHeader) != "miss" || second.Header.Get(CacheStateHeader) != "hit" {
+		t.Fatalf("cache states = %q, %q, want miss, hit",
+			first.Header.Get(CacheStateHeader), second.Header.Get(CacheStateHeader))
+	}
+}
+
+func TestStatsHandler(t *testing.T) {
+	d, front, _ := testCluster(t, 2, Config{Miner: testMiner()})
+	client := front.Client()
+	get(t, client, front.URL, "/a.html")
+	srv := httptest.NewServer(StatsHandler(d))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	d, front, _ := testCluster(t, 4, Config{Miner: testMiner(), Prefetch: true})
+	done := make(chan error, 8)
+	paths := []string{"/a.html", "/a.gif", "/b.html", "/b.gif"}
+	for g := 0; g < 8; g++ {
+		go func() {
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(front.URL + paths[i%len(paths)])
+				if err != nil {
+					done <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Requests != 8*50 {
+		t.Fatalf("requests = %d, want 400", s.Requests)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("errors = %d", s.Errors)
+	}
+}
+
+func TestSessionPressureValve(t *testing.T) {
+	// With MaxSessions 2, a third distinct client must reset the table
+	// rather than grow it without bound.
+	d, front, _ := testCluster(t, 2, Config{Miner: testMiner(), MaxSessions: 2})
+	for i := 0; i < 5; i++ {
+		c := &http.Client{}
+		get(t, c, front.URL, "/a.html")
+		c.CloseIdleConnections()
+	}
+	d.mu.Lock()
+	n := len(d.sessions)
+	d.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("session table grew to %d despite MaxSessions=2", n)
+	}
+	if d.Stats().Requests != 5 {
+		t.Fatalf("requests = %d, want 5", d.Stats().Requests)
+	}
+}
+
+func TestBackendErrorCounted(t *testing.T) {
+	// One healthy backend and one that always fails with 500.
+	healthy := NewDemoBackend("ok", testFiles, 1<<20, 0)
+	hSrv := httptest.NewServer(healthy)
+	defer hSrv.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	hURL, _ := url.Parse(hSrv.URL)
+	bURL, _ := url.Parse(bad.URL)
+
+	d, err := New(Config{
+		Backends: []*url.URL{bURL, hURL},
+		Policy:   policy.NewWRR(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	front := httptest.NewServer(d)
+	defer front.Close()
+
+	// First fresh connection lands on backend 0 (the bad one) under WRR.
+	c1 := &http.Client{}
+	r1 := get(t, c1, front.URL, "/a.html")
+	c1.CloseIdleConnections()
+	if r1.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("expected the bad backend's 500, got %d", r1.StatusCode)
+	}
+	if d.Stats().Errors == 0 {
+		t.Fatal("the 500 should be counted as an error")
+	}
+	// The failed path must not be remembered as resident on backend 0.
+	d.mu.Lock()
+	resident := d.locality[0].Contains("/a.html")
+	d.mu.Unlock()
+	if resident {
+		t.Fatal("failed response left a stale locality entry")
+	}
+}
+
+func TestLocalityEntriesBound(t *testing.T) {
+	d, front, _ := testCluster(t, 1, Config{Miner: testMiner(), LocalityEntries: 2})
+	client := front.Client()
+	for _, p := range []string{"/a.html", "/a.gif", "/b.html", "/b.gif"} {
+		get(t, client, front.URL, p)
+	}
+	d.mu.Lock()
+	n := d.locality[0].Len()
+	d.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("locality map grew to %d entries despite bound 2", n)
+	}
+}
+
+func TestDistributorDefaultPolicyIsPRORD(t *testing.T) {
+	u, _ := url.Parse("http://127.0.0.1:1")
+	d, err := New(Config{Backends: []*url.URL{u}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.pol.Name() != "PRORD" {
+		t.Fatalf("default policy = %s, want PRORD", d.pol.Name())
+	}
+}

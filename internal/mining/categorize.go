@@ -1,0 +1,197 @@
+package mining
+
+import (
+	"math"
+	"sort"
+
+	"prord/internal/trace"
+)
+
+// Categorizer assigns users to pre-defined groups (current students,
+// prospective students, faculty, ... in the paper's university example,
+// §3.1) by matching their access path against each group's navigation
+// profile. Confidence grows with the length of the matched path (§4.1:
+// "the longer the comparison paths are, the better the confidence of the
+// predicted category").
+//
+// The profile is a per-group page-frequency table learned from a training
+// trace whose sessions carry ground-truth group labels; classification is
+// a naive-Bayes vote over the pages of the user's current access path.
+type Categorizer struct {
+	groups     int
+	pageFreq   []map[string]float64 // per group: P(page | group), smoothed
+	prior      []float64
+	vocabulary map[string]bool
+}
+
+// TrainCategorizer learns group profiles from tr. Sessions with Group < 0
+// are ignored. It returns nil if the trace carries no group labels.
+func TrainCategorizer(tr *trace.Trace) *Categorizer {
+	maxGroup := -1
+	for i := range tr.Requests {
+		if g := tr.Requests[i].Group; g > maxGroup {
+			maxGroup = g
+		}
+	}
+	if maxGroup < 0 {
+		return nil
+	}
+	c := &Categorizer{
+		groups:     maxGroup + 1,
+		pageFreq:   make([]map[string]float64, maxGroup+1),
+		prior:      make([]float64, maxGroup+1),
+		vocabulary: make(map[string]bool),
+	}
+	counts := make([]map[string]int, maxGroup+1)
+	totals := make([]int, maxGroup+1)
+	for g := range counts {
+		counts[g] = make(map[string]int)
+	}
+	var labeled int
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.Group < 0 || r.Embedded {
+			continue
+		}
+		counts[r.Group][r.Path]++
+		totals[r.Group]++
+		labeled++
+		c.vocabulary[r.Path] = true
+	}
+	if labeled == 0 {
+		return nil
+	}
+	v := float64(len(c.vocabulary))
+	for g := 0; g < c.groups; g++ {
+		c.prior[g] = float64(totals[g]+1) / float64(labeled+c.groups)
+		c.pageFreq[g] = make(map[string]float64, len(counts[g]))
+		for page, n := range counts[g] {
+			// Laplace-smoothed conditional frequency.
+			c.pageFreq[g][page] = float64(n+1) / (float64(totals[g]) + v)
+		}
+	}
+	return c
+}
+
+// Groups returns the number of known groups.
+func (c *Categorizer) Groups() int { return c.groups }
+
+// Classify returns the most probable group for a user whose access path
+// (main pages, oldest first) is path, along with a confidence in (0, 1]:
+// the posterior probability of the winning group.
+func (c *Categorizer) Classify(path []string) (group int, confidence float64) {
+	if len(path) == 0 {
+		// No evidence: return the largest prior.
+		best, bestP := 0, c.prior[0]
+		for g := 1; g < c.groups; g++ {
+			if c.prior[g] > bestP {
+				best, bestP = g, c.prior[g]
+			}
+		}
+		return best, bestP
+	}
+	v := float64(len(c.vocabulary))
+	logPost := make([]float64, c.groups)
+	for g := 0; g < c.groups; g++ {
+		lp := math.Log(c.prior[g])
+		for _, page := range path {
+			f, ok := c.pageFreq[g][page]
+			if !ok {
+				f = 1 / (v + 1) // unseen page under this group
+			}
+			lp += math.Log(f)
+		}
+		logPost[g] = lp
+	}
+	// Normalize in log space.
+	maxLP := logPost[0]
+	for _, lp := range logPost[1:] {
+		if lp > maxLP {
+			maxLP = lp
+		}
+	}
+	var sum float64
+	for g := range logPost {
+		logPost[g] = math.Exp(logPost[g] - maxLP)
+		sum += logPost[g]
+	}
+	best, bestP := 0, logPost[0]
+	for g := 1; g < c.groups; g++ {
+		if logPost[g] > bestP {
+			best, bestP = g, logPost[g]
+		}
+	}
+	return best, bestP / sum
+}
+
+// TopPages returns a group's n most characteristic pages (highest
+// conditional frequency), the set §4.1's category-driven prefetching
+// pulls into memory once a user is identified with the group.
+func (c *Categorizer) TopPages(group, n int) []string {
+	if group < 0 || group >= c.groups || n <= 0 {
+		return nil
+	}
+	type pf struct {
+		page string
+		f    float64
+	}
+	pages := make([]pf, 0, len(c.pageFreq[group]))
+	for page, f := range c.pageFreq[group] {
+		pages = append(pages, pf{page, f})
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].f != pages[j].f {
+			return pages[i].f > pages[j].f
+		}
+		return pages[i].page < pages[j].page
+	})
+	if n > len(pages) {
+		n = len(pages)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pages[i].page
+	}
+	return out
+}
+
+// Accuracy evaluates the categorizer on a labeled trace, classifying each
+// session from its first k main pages. It returns the fraction of
+// correctly classified sessions.
+func (c *Categorizer) Accuracy(tr *trace.Trace, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	sessions := tr.Sessions()
+	ids := make([]int, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var total, correct int
+	for _, id := range ids {
+		var pages []string
+		truth := -1
+		for _, idx := range sessions[id] {
+			r := &tr.Requests[idx]
+			if r.Embedded {
+				continue
+			}
+			if len(pages) < k {
+				pages = append(pages, r.Path)
+			}
+			truth = r.Group
+		}
+		if truth < 0 || len(pages) == 0 {
+			continue
+		}
+		total++
+		if got, _ := c.Classify(pages); got == truth {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,145 @@
+package mining
+
+import (
+	"testing"
+
+	"prord/internal/trace"
+)
+
+// labeledTrace builds sessions with explicit group labels.
+func labeledTrace(groups map[int][][]string) *trace.Trace {
+	t := &trace.Trace{Name: "lab", Files: make(map[string]int64)}
+	sid := 0
+	for g := 0; g < len(groups); g++ {
+		for _, pages := range groups[g] {
+			for _, p := range pages {
+				t.Files[p] = 1024
+				t.Requests = append(t.Requests, trace.Request{
+					Session: sid, Client: "c", Path: p, Size: 1024, Group: g,
+				})
+			}
+			sid++
+		}
+	}
+	return t
+}
+
+func TestCategorizerSeparatesGroups(t *testing.T) {
+	tr := labeledTrace(map[int][][]string{
+		0: {{"/s/a", "/s/b"}, {"/s/a", "/s/c"}, {"/s/b", "/s/c"}},
+		1: {{"/f/x", "/f/y"}, {"/f/x", "/f/z"}, {"/f/y", "/f/z"}},
+	})
+	c := TrainCategorizer(tr)
+	if c == nil {
+		t.Fatal("labeled trace should yield a categorizer")
+	}
+	if c.Groups() != 2 {
+		t.Fatalf("Groups = %d, want 2", c.Groups())
+	}
+	if g, conf := c.Classify([]string{"/s/a", "/s/b"}); g != 0 || conf <= 0.5 {
+		t.Fatalf("student path classified as %d (conf %v)", g, conf)
+	}
+	if g, conf := c.Classify([]string{"/f/x"}); g != 1 || conf <= 0.5 {
+		t.Fatalf("faculty path classified as %d (conf %v)", g, conf)
+	}
+}
+
+func TestCategorizerConfidenceGrowsWithPathLength(t *testing.T) {
+	// Paper §4.1: longer comparison paths give better confidence.
+	tr := labeledTrace(map[int][][]string{
+		0: {{"/s/a", "/s/b", "/s/c"}, {"/s/a", "/s/b", "/s/d"}},
+		1: {{"/f/x", "/f/y", "/f/z"}, {"/f/x", "/f/y", "/f/w"}},
+	})
+	c := TrainCategorizer(tr)
+	_, c1 := c.Classify([]string{"/s/a"})
+	_, c3 := c.Classify([]string{"/s/a", "/s/b", "/s/c"})
+	if c3 <= c1 {
+		t.Fatalf("confidence should grow with path length: 1-page %v vs 3-page %v", c1, c3)
+	}
+}
+
+func TestCategorizerUnlabeledReturnsNil(t *testing.T) {
+	tr := seqTrace([]string{"A", "B"})
+	if c := TrainCategorizer(tr); c != nil {
+		t.Fatal("unlabeled trace should not train a categorizer")
+	}
+}
+
+func TestCategorizerEmptyPathUsesPrior(t *testing.T) {
+	tr := labeledTrace(map[int][][]string{
+		0: {{"/a"}, {"/b"}, {"/c"}},
+		1: {{"/x"}},
+	})
+	c := TrainCategorizer(tr)
+	g, conf := c.Classify(nil)
+	if g != 0 {
+		t.Fatalf("prior should favor the larger group, got %d", g)
+	}
+	if conf <= 0 || conf > 1 {
+		t.Fatalf("confidence %v out of range", conf)
+	}
+}
+
+func TestCategorizerUnseenPages(t *testing.T) {
+	tr := labeledTrace(map[int][][]string{
+		0: {{"/a"}},
+		1: {{"/x"}},
+	})
+	c := TrainCategorizer(tr)
+	g, conf := c.Classify([]string{"/never-seen"})
+	if g < 0 || g > 1 || conf <= 0 || conf > 1 {
+		t.Fatalf("unseen page classification out of range: %d, %v", g, conf)
+	}
+}
+
+func TestCategorizerAccuracyOnSynthetic(t *testing.T) {
+	_, tr, err := trace.GeneratePreset(trace.PresetSynthetic, 0.2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval := tr.Split(0.5)
+	c := TrainCategorizer(train)
+	if c == nil {
+		t.Fatal("synthetic trace is labeled; categorizer expected")
+	}
+	acc := c.Accuracy(eval, 3)
+	// 4 groups whose sessions occasionally cross sections (15% of links):
+	// accuracy should still be far above the 0.25 chance level.
+	if acc < 0.40 {
+		t.Fatalf("categorizer accuracy %v, want >= 0.40 (chance is 0.25)", acc)
+	}
+}
+
+func TestMineFacade(t *testing.T) {
+	_, tr, err := trace.GeneratePreset(trace.PresetSynthetic, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mine(tr, Options{})
+	if m.Model.Order() != 2 {
+		t.Fatalf("default order = %d, want 2", m.Model.Order())
+	}
+	if m.Model.Observations() == 0 || m.Ranker.Len() == 0 {
+		t.Fatal("mining should have consumed the trace")
+	}
+	if m.Categorizer == nil {
+		t.Fatal("labeled trace should produce categorizer")
+	}
+	if !m.ShouldPrefetch(Prediction{Confidence: 0.9}) {
+		t.Fatal("high-confidence prediction should be prefetched")
+	}
+	if m.ShouldPrefetch(Prediction{Confidence: 0.1}) {
+		t.Fatal("low-confidence prediction should not be prefetched")
+	}
+	if m.Summary() == "" {
+		t.Fatal("Summary should be non-empty")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{Order: -1, BundleSupport: 2, RankDecay: 0, PrefetchThreshold: -0.5}.withDefaults()
+	d := DefaultOptions()
+	if o != d {
+		t.Fatalf("withDefaults = %+v, want %+v", o, d)
+	}
+}

@@ -1,0 +1,289 @@
+package mining
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prord/internal/randutil"
+	"prord/internal/trace"
+)
+
+// seqTrace builds a trace from explicit per-session page sequences; sizes
+// are uniform 1 KB.
+func seqTrace(sessions ...[]string) *trace.Trace {
+	t := &trace.Trace{Name: "seq", Files: make(map[string]int64)}
+	for sid, pages := range sessions {
+		for i, p := range pages {
+			t.Files[p] = 1024
+			t.Requests = append(t.Requests, trace.Request{
+				Session: sid,
+				Client:  "c",
+				Path:    p,
+				Size:    1024,
+				Group:   -1,
+			})
+			_ = i
+		}
+	}
+	return t
+}
+
+func TestModelPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewModel(0) should panic")
+		}
+	}()
+	NewModel(0)
+}
+
+func TestModelFirstOrderPrediction(t *testing.T) {
+	m := NewModel(1)
+	// A -> B 3 times, A -> C once.
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"A", "C"})
+	p, ok := m.Predict([]string{"A"})
+	if !ok || p.Page != "B" {
+		t.Fatalf("Predict = %+v ok=%v, want B", p, ok)
+	}
+	if p.Confidence != 0.75 {
+		t.Fatalf("Confidence = %v, want 0.75", p.Confidence)
+	}
+	if p.Order != 1 {
+		t.Fatalf("Order = %d, want 1", p.Order)
+	}
+}
+
+func TestModelSecondOrderDisambiguates(t *testing.T) {
+	// Fig. 3's scenario: page D is reached from two different groups; the
+	// continuation depends on how D was reached. Sequences starting at A
+	// go D->C (70%), those starting at B go D->E (60%).
+	m := NewModel(2)
+	for i := 0; i < 7; i++ {
+		m.ObserveSequence([]string{"A", "D", "C"})
+	}
+	for i := 0; i < 3; i++ {
+		m.ObserveSequence([]string{"A", "D", "X"})
+	}
+	for i := 0; i < 6; i++ {
+		m.ObserveSequence([]string{"B", "D", "E"})
+	}
+	for i := 0; i < 4; i++ {
+		m.ObserveSequence([]string{"B", "D", "Y"})
+	}
+	pa, ok := m.Predict([]string{"A", "D"})
+	if !ok || pa.Page != "C" || pa.Order != 2 {
+		t.Fatalf("context [A D]: %+v ok=%v, want C at order 2", pa, ok)
+	}
+	if pa.Confidence < 0.69 || pa.Confidence > 0.71 {
+		t.Fatalf("context [A D] confidence = %v, want 0.7", pa.Confidence)
+	}
+	pb, ok := m.Predict([]string{"B", "D"})
+	if !ok || pb.Page != "E" {
+		t.Fatalf("context [B D]: %+v ok=%v, want E", pb, ok)
+	}
+	// A first-order model cannot disambiguate: it sees D->C 7, D->E 6...
+	m1 := NewModel(1)
+	for i := 0; i < 7; i++ {
+		m1.ObserveSequence([]string{"A", "D", "C"})
+	}
+	for i := 0; i < 6; i++ {
+		m1.ObserveSequence([]string{"B", "D", "E"})
+	}
+	p1, _ := m1.Predict([]string{"B", "D"})
+	if p1.Page != "C" {
+		t.Fatalf("order-1 model should collapse contexts and predict C, got %s", p1.Page)
+	}
+}
+
+func TestModelBackoffToShorterContext(t *testing.T) {
+	m := NewModel(3)
+	m.ObserveSequence([]string{"A", "B", "C"})
+	// Context [Z B] unseen at order 2, must back off to [B] -> C.
+	p, ok := m.Predict([]string{"Z", "B"})
+	if !ok || p.Page != "C" || p.Order != 1 {
+		t.Fatalf("backoff failed: %+v ok=%v", p, ok)
+	}
+}
+
+func TestModelNoPrediction(t *testing.T) {
+	m := NewModel(2)
+	m.ObserveSequence([]string{"A", "B"})
+	if _, ok := m.Predict([]string{"unknown"}); ok {
+		t.Fatal("unknown context should not predict")
+	}
+	if _, ok := m.Predict(nil); ok {
+		t.Fatal("empty context should not predict")
+	}
+}
+
+func TestModelPredictAllSorted(t *testing.T) {
+	m := NewModel(1)
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"A", "C"})
+	all := m.PredictAll([]string{"A"})
+	if len(all) != 2 || all[0].Page != "B" || all[1].Page != "C" {
+		t.Fatalf("PredictAll = %+v", all)
+	}
+	sum := all[0].Confidence + all[1].Confidence
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("confidences sum to %v, want 1", sum)
+	}
+}
+
+func TestModelConfidenceInRangeProperty(t *testing.T) {
+	f := func(seqs [][]byte) bool {
+		m := NewModel(2)
+		var pages [][]string
+		for _, s := range seqs {
+			var seq []string
+			for _, b := range s {
+				seq = append(seq, string('a'+rune(b%8)))
+			}
+			if len(seq) > 0 {
+				pages = append(pages, seq)
+				m.ObserveSequence(seq)
+			}
+		}
+		for _, seq := range pages {
+			for i := 1; i <= len(seq); i++ {
+				if p, ok := m.Predict(seq[:i]); ok {
+					if p.Confidence <= 0 || p.Confidence > 1 {
+						return false
+					}
+					if p.Order < 1 || p.Order > 2 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelTrainSkipsEmbedded(t *testing.T) {
+	tr := seqTrace([]string{"A", "B"})
+	tr.Requests[1].Embedded = true
+	tr.Requests[1].Parent = "A"
+	m := NewModel(2)
+	m.Train(tr)
+	if m.Observations() != 0 {
+		t.Fatalf("embedded requests must not create transitions, got %d", m.Observations())
+	}
+}
+
+func TestModelAccessedCounts(t *testing.T) {
+	m := NewModel(1)
+	m.ObserveSequence([]string{"A", "B", "A"})
+	if m.Accessed("A") != 2 || m.Accessed("B") != 1 {
+		t.Fatalf("Accessed A=%d B=%d, want 2, 1", m.Accessed("A"), m.Accessed("B"))
+	}
+}
+
+func TestTrackerWindowing(t *testing.T) {
+	m := NewModel(2)
+	m.ObserveSequence([]string{"A", "B", "C"})
+	tr := NewTracker(m, false)
+	tr.Observe(1, "X")
+	tr.Observe(1, "A")
+	tr.Observe(1, "B")
+	recent := tr.Recent(1)
+	if len(recent) != 2 || recent[0] != "A" || recent[1] != "B" {
+		t.Fatalf("Recent = %v, want [A B] (window of order 2)", recent)
+	}
+	p, ok := m.Predict(recent)
+	if !ok || p.Page != "C" {
+		t.Fatalf("prediction from tracked state = %+v ok=%v", p, ok)
+	}
+}
+
+func TestTrackerOnlineLearning(t *testing.T) {
+	m := NewModel(2)
+	tr := NewTracker(m, true)
+	for i := 0; i < 5; i++ {
+		conn := 100 + i
+		tr.Observe(conn, "A")
+		tr.Observe(conn, "B")
+		tr.Close(conn)
+	}
+	if tr.Connections() != 0 {
+		t.Fatalf("Connections = %d after Close, want 0", tr.Connections())
+	}
+	p, ok := m.Predict([]string{"A"})
+	if !ok || p.Page != "B" {
+		t.Fatalf("online-learned prediction = %+v ok=%v, want B", p, ok)
+	}
+}
+
+func TestTrackerIsolatesConnections(t *testing.T) {
+	m := NewModel(2)
+	m.ObserveSequence([]string{"A", "B"})
+	m.ObserveSequence([]string{"C", "D"})
+	tr := NewTracker(m, false)
+	tr.Observe(1, "A")
+	p2, _ := tr.Observe(2, "C")
+	p1, _ := m.Predict(tr.Recent(1))
+	if p1.Page != "B" || p2.Page != "D" {
+		t.Fatalf("connections leaked state: p1=%+v p2=%+v", p1, p2)
+	}
+}
+
+func TestModelOnGeneratedTrace(t *testing.T) {
+	// On a synthetic trace with Determinism 0.65, a trained order-2 model
+	// should predict next pages far better than chance.
+	site, err := trace.GenerateSite(trace.SiteConfig{
+		Pages: 120, Groups: 4, MeanEmbedded: 2, MaxEmbedded: 5,
+		MeanPageKB: 5, MaxPageKB: 50, MeanObjectKB: 3, MaxObjectKB: 30,
+		LinksPerPage: 5, IntraGroupProb: 0.9, PopTheta: 0.8,
+	}, randutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultTraceConfig()
+	cfg.Requests = 8000
+	tg, err := trace.Generate("t", site, cfg, randutil.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval := tg.Split(0.5)
+	m := NewModel(2)
+	m.Train(train)
+
+	sessions := eval.Sessions()
+	var total, correct int
+	for _, idxs := range sessions {
+		var pages []string
+		for _, i := range idxs {
+			if r := &eval.Requests[i]; !r.Embedded {
+				pages = append(pages, r.Path)
+			}
+		}
+		for i := 1; i < len(pages); i++ {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			p, ok := m.Predict(pages[lo:i])
+			if !ok {
+				continue
+			}
+			total++
+			if p.Page == pages[i] {
+				correct++
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few evaluated predictions: %d", total)
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.4 {
+		t.Fatalf("prediction accuracy %.2f too low for Determinism=0.65 workload", acc)
+	}
+}

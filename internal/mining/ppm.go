@@ -1,0 +1,95 @@
+package mining
+
+import (
+	"sort"
+	"strings"
+
+	"prord/internal/trace"
+)
+
+// PPM is a prediction-by-partial-match predictor [26]: a j-order Markov
+// model that *blends* all context lengths with PPM-C escape
+// probabilities, instead of the pure longest-match backoff the plain
+// Model uses. Blending makes it robust when the longest context has been
+// seen only once or twice — exactly the regime the paper's §2.2.3 notes
+// makes high orders expensive and fragile.
+type PPM struct {
+	model *Model
+}
+
+// NewPPM returns a PPM predictor of the given maximum order.
+func NewPPM(order int) *PPM {
+	return &PPM{model: NewModel(order)}
+}
+
+// Model exposes the underlying count store (shared layout with Model).
+func (p *PPM) Model() *Model { return p.model }
+
+// Train implements Predictor.
+func (p *PPM) Train(tr *trace.Trace) { p.model.Train(tr) }
+
+// ObserveSequence trains on one session's page sequence.
+func (p *PPM) ObserveSequence(pages []string) { p.model.ObserveSequence(pages) }
+
+// Window implements OnlinePredictor.
+func (p *PPM) Window() int { return p.model.Order() }
+
+// Predict implements Predictor with PPM-C blending: starting from the
+// longest matching context, each order contributes its successor
+// distribution scaled by the probability mass that escaped every longer
+// order. Escape probability of a context is d/(n+d) where n is the
+// context's total count and d its number of distinct successors (PPM-C).
+func (p *PPM) Predict(recent []string) (Prediction, bool) {
+	if len(recent) == 0 {
+		return Prediction{}, false
+	}
+	start := len(recent) - p.model.order
+	if start < 0 {
+		start = 0
+	}
+	scores := make(map[string]float64)
+	weight := 1.0
+	matchedOrder := 0
+	for k := len(recent) - start; k >= 1 && weight > 1e-9; k-- {
+		key := strings.Join(recent[len(recent)-k:], ctxSep)
+		cs, ok := p.model.ctx[key]
+		if !ok || cs.total == 0 {
+			continue
+		}
+		if matchedOrder == 0 {
+			matchedOrder = k
+		}
+		n := float64(cs.total)
+		d := float64(len(cs.next))
+		for page, count := range cs.next {
+			scores[page] += weight * float64(count) / (n + d)
+		}
+		weight *= d / (n + d) // escape to the next shorter context
+	}
+	if len(scores) == 0 {
+		return Prediction{}, false
+	}
+	pages := make([]string, 0, len(scores))
+	var total float64
+	for page, s := range scores {
+		pages = append(pages, page)
+		total += s
+	}
+	sort.Strings(pages) // deterministic argmax
+	best, bestScore := "", -1.0
+	for _, page := range pages {
+		if scores[page] > bestScore {
+			best, bestScore = page, scores[page]
+		}
+	}
+	return Prediction{
+		Page:       best,
+		Confidence: bestScore / total,
+		Order:      matchedOrder,
+	}, true
+}
+
+var (
+	_ Predictor       = (*PPM)(nil)
+	_ OnlinePredictor = (*PPM)(nil)
+)

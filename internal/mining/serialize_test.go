@@ -1,0 +1,138 @@
+package mining
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prord/internal/trace"
+)
+
+func TestMinerSaveLoadRoundTrip(t *testing.T) {
+	_, full, err := trace.GeneratePreset(trace.PresetSynthetic, 0.05, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval := full.Split(0.6)
+	orig := Mine(train, DefaultOptions())
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Model state round-trips exactly.
+	if loaded.Model.Contexts() != orig.Model.Contexts() {
+		t.Fatalf("contexts %d != %d", loaded.Model.Contexts(), orig.Model.Contexts())
+	}
+	if loaded.Model.Observations() != orig.Model.Observations() {
+		t.Fatalf("observations %d != %d", loaded.Model.Observations(), orig.Model.Observations())
+	}
+	// Predictions agree on the evaluation stream.
+	agreements, total := 0, 0
+	for _, idxs := range eval.Sessions() {
+		var pages []string
+		for _, i := range idxs {
+			if r := &eval.Requests[i]; !r.Embedded {
+				pages = append(pages, r.Path)
+			}
+		}
+		for i := 1; i < len(pages) && i < 4; i++ {
+			a, okA := orig.Model.Predict(pages[:i])
+			b, okB := loaded.Model.Predict(pages[:i])
+			if okA != okB {
+				t.Fatalf("prediction availability diverged on %v", pages[:i])
+			}
+			if okA {
+				total++
+				if a == b {
+					agreements++
+				}
+			}
+		}
+	}
+	if total == 0 || agreements != total {
+		t.Fatalf("loaded model agrees on %d/%d predictions", agreements, total)
+	}
+
+	// Bundles round-trip (same support filtering).
+	for _, page := range orig.Bundles.Pages() {
+		a := orig.Bundles.Objects(page)
+		b := loaded.Bundles.Objects(page)
+		if strings.Join(a, ",") != strings.Join(b, ",") {
+			t.Fatalf("bundle for %s diverged: %v vs %v", page, a, b)
+		}
+	}
+
+	// Ranker round-trips.
+	origTop := orig.Ranker.Top(10)
+	loadedTop := loaded.Ranker.Top(10)
+	for i := range origTop {
+		if origTop[i] != loadedTop[i] {
+			t.Fatalf("rank table diverged at %d: %s vs %s", i, origTop[i], loadedTop[i])
+		}
+	}
+
+	// Categorizer round-trips (classification agreement).
+	if orig.Categorizer == nil || loaded.Categorizer == nil {
+		t.Fatal("categorizer should survive the round trip")
+	}
+	if got, want := loaded.Categorizer.Accuracy(eval, 3), orig.Categorizer.Accuracy(eval, 3); got != want {
+		t.Fatalf("categorizer accuracy diverged: %v vs %v", got, want)
+	}
+
+	// The loaded miner is usable for prefetch admission.
+	if loaded.Nav == nil {
+		t.Fatal("loaded miner must have a Nav predictor")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version should fail")
+	}
+}
+
+func TestSaveTrained(t *testing.T) {
+	tr := seqTrace([]string{"A", "B"}, []string{"A", "B"})
+	var buf bytes.Buffer
+	m, err := SaveTrained(&buf, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Model.Observations() != 2 {
+		t.Fatalf("observations = %d", m.Model.Observations())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := loaded.Model.Predict([]string{"A"}); !ok || p.Page != "B" {
+		t.Fatalf("loaded prediction = %+v ok=%v", p, ok)
+	}
+}
+
+func TestLoadEmptyModel(t *testing.T) {
+	var buf bytes.Buffer
+	empty := Mine(&trace.Trace{Files: map[string]int64{}}, Options{})
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Model.Contexts() != 0 {
+		t.Fatal("empty model should stay empty")
+	}
+	if loaded.Categorizer != nil {
+		t.Fatal("no categorizer expected")
+	}
+}

@@ -1,0 +1,173 @@
+// Package randutil provides seeded, reproducible random sources and the
+// heavy-tailed distributions used by the workload generators: bounded Zipf
+// for page popularity, Pareto for file sizes and exponential for
+// inter-arrival and think times.
+//
+// Everything in this package is deterministic given a seed. Simulation and
+// trace-generation code must never use the global math/rand source, so that
+// an experiment can be replayed bit-for-bit.
+package randutil
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source with the distribution helpers the
+// workload generators need. It is NOT safe for concurrent use; each
+// goroutine should derive its own Source via Split.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new independent Source from s. The derived stream is a
+// deterministic function of s's current state, so splitting at the same
+// point in two replays yields identical children.
+func (s *Source) Split() *Source {
+	return New(s.rng.Int63())
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Exp returns an exponentially distributed value with the given mean.
+// A mean <= 0 returns 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Pareto returns a bounded Pareto-distributed value with shape alpha on
+// [xmin, xmax]. It is used for file sizes, which are heavy-tailed in real
+// web traces. Pareto panics if the bounds are not 0 < xmin <= xmax or if
+// alpha <= 0.
+func (s *Source) Pareto(alpha, xmin, xmax float64) float64 {
+	if xmin <= 0 || xmax < xmin || alpha <= 0 {
+		panic("randutil: invalid Pareto parameters")
+	}
+	if xmin == xmax {
+		return xmin
+	}
+	// Inverse-CDF sampling of the bounded Pareto distribution.
+	u := s.rng.Float64()
+	la := math.Pow(xmin, alpha)
+	ha := math.Pow(xmax, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < xmin {
+		x = xmin
+	}
+	if x > xmax {
+		x = xmax
+	}
+	return x
+}
+
+// Zipf draws ranks in [0, n) following a Zipf distribution with exponent
+// theta. Rank 0 is the most popular.
+type Zipf struct {
+	n   int
+	cdf []float64 // cumulative probabilities, cdf[n-1] == 1
+	rng *rand.Rand
+}
+
+// NewZipf builds a bounded Zipf sampler over n items with exponent theta
+// (theta ~ 0.6–1.0 matches observed web page popularity). It panics if
+// n <= 0 or theta < 0.
+func NewZipf(s *Source, n int, theta float64) *Zipf {
+	if n <= 0 || theta < 0 {
+		panic("randutil: invalid Zipf parameters")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1
+	return &Zipf{n: n, cdf: cdf, rng: s.rng}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return z.n }
+
+// Draw returns a rank in [0, N()); smaller ranks are more likely.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of drawing rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= z.n {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// WeightedChoice returns an index in [0, len(weights)) drawn proportionally
+// to weights. Non-positive weights are treated as zero. It panics if the
+// total weight is not positive.
+func (s *Source) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("randutil: WeightedChoice requires positive total weight")
+	}
+	u := s.rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: fall back to the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("randutil: unreachable")
+}

@@ -1,0 +1,211 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("sources with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	sa, sb := a.Split(), b.Split()
+	for i := 0; i < 100; i++ {
+		if sa.Int63() != sb.Int63() {
+			t.Fatalf("split sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(1)
+	child := s.Split()
+	// The child stream should not simply mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s.Int63() == child.Int63() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("parent and child streams coincide on %d/100 draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Exp(5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	s := New(3)
+	if got := s.Exp(0); got != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", got)
+	}
+	if got := s.Exp(-1); got != 0 {
+		t.Fatalf("Exp(-1) = %v, want 0", got)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		x := s.Pareto(1.2, 100, 1e6)
+		if x < 100 || x > 1e6 {
+			t.Fatalf("Pareto sample %v out of [100, 1e6]", x)
+		}
+	}
+}
+
+func TestParetoDegenerate(t *testing.T) {
+	s := New(9)
+	if got := s.Pareto(1.5, 42, 42); got != 42 {
+		t.Fatalf("Pareto with xmin==xmax = %v, want 42", got)
+	}
+}
+
+func TestParetoPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid Pareto parameters")
+		}
+	}()
+	New(1).Pareto(0, 1, 2)
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha just above 1 the mean should be well above xmin.
+	s := New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Pareto(1.1, 1000, 1e7)
+	}
+	mean := sum / n
+	if mean < 2000 {
+		t.Fatalf("Pareto(1.1) sample mean %v suspiciously close to xmin", mean)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	s := New(5)
+	z := NewZipf(s, 100, 0.9)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] || counts[0] <= counts[99] {
+		t.Fatalf("rank 0 (%d) should dominate rank 50 (%d) and 99 (%d)",
+			counts[0], counts[50], counts[99])
+	}
+	// Rank 0 of a theta=0.9 Zipf over 100 items has probability ~0.13.
+	p0 := float64(counts[0]) / 200000
+	if p0 < 0.08 || p0 > 0.25 {
+		t.Fatalf("rank-0 empirical probability %v outside sanity band", p0)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(New(5), 1000, 0.7)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(z.N()) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		z := NewZipf(s, 37, 0.8)
+		for i := 0; i < 100; i++ {
+			r := z.Draw()
+			if r < 0 || r >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	s := New(21)
+	z := NewZipf(s, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.07 || frac > 0.13 {
+			t.Fatalf("theta=0 should be uniform; rank %d frac=%v", i, frac)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(13)
+	w := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedChoice(w)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatal("zero-weight entries must never be chosen")
+	}
+	if !(counts[4] > counts[2] && counts[2] > counts[1]) {
+		t.Fatalf("choice frequency should follow weights, got %v", counts)
+	}
+}
+
+func TestWeightedChoicePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero total weight")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, -2})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		p := New(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

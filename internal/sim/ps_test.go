@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPSSingleJob(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	var end time.Duration
+	q.Schedule(time.Second, func(_, at time.Duration) { end = at })
+	e.Run()
+	if end != time.Second {
+		t.Fatalf("lone job should finish at 1s, got %v", end)
+	}
+	if q.Served() != 1 || q.QueueLen() != 0 {
+		t.Fatalf("Served=%d QueueLen=%d", q.Served(), q.QueueLen())
+	}
+}
+
+func TestPSTwoEqualJobsShareCapacity(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	var ends []time.Duration
+	for i := 0; i < 2; i++ {
+		q.Schedule(time.Second, func(_, at time.Duration) { ends = append(ends, at) })
+	}
+	e.Run()
+	// Two 1s jobs sharing the server both finish at 2s.
+	for _, end := range ends {
+		if d := (end - 2*time.Second).Abs(); d > time.Millisecond {
+			t.Fatalf("ends = %v, want both ~2s", ends)
+		}
+	}
+}
+
+func TestPSShortJobNotStuckBehindLong(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	var longEnd, shortEnd time.Duration
+	q.Schedule(10*time.Second, func(_, at time.Duration) { longEnd = at })
+	e.At(time.Second, func() {
+		q.Schedule(100*time.Millisecond, func(_, at time.Duration) { shortEnd = at })
+	})
+	e.Run()
+	// Under FCFS the short job would wait 10s. Under PS it shares from
+	// t=1s and finishes at ~1.2s (needs 0.1s of work at half speed).
+	want := 1200 * time.Millisecond
+	if d := (shortEnd - want).Abs(); d > 5*time.Millisecond {
+		t.Fatalf("short job end = %v, want ~%v", shortEnd, want)
+	}
+	// The long job lost 0.1s of capacity to the short one: ends ~10.1s.
+	wantLong := 10100 * time.Millisecond
+	if d := (longEnd - wantLong).Abs(); d > 10*time.Millisecond {
+		t.Fatalf("long job end = %v, want ~%v", longEnd, wantLong)
+	}
+}
+
+func TestPSWorkConservation(t *testing.T) {
+	// Total completion time of the last job equals the sum of service
+	// times when all jobs arrive at t=0 (PS is work-conserving).
+	f := func(ms []uint8) bool {
+		var e Engine
+		q := NewPS(&e)
+		var total time.Duration
+		var last time.Duration
+		for _, m := range ms {
+			d := time.Duration(m) * time.Millisecond
+			total += d
+			q.Schedule(d, func(_, at time.Duration) {
+				if at > last {
+					last = at
+				}
+			})
+		}
+		e.Run()
+		if len(ms) == 0 {
+			return true
+		}
+		return math.Abs(float64(last-total)) <= float64(2*time.Millisecond)+1e6*float64(len(ms))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSAllJobsComplete(t *testing.T) {
+	f := func(arrivals []uint8) bool {
+		var e Engine
+		q := NewPS(&e)
+		completed := 0
+		for _, a := range arrivals {
+			at := time.Duration(a) * time.Millisecond
+			service := time.Duration(a%17+1) * time.Millisecond
+			e.At(at, func() {
+				q.Schedule(service, func(_, _ time.Duration) { completed++ })
+			})
+		}
+		e.Run()
+		return completed == len(arrivals) && q.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSZeroService(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	ran := false
+	q.Schedule(0, func(_, _ time.Duration) { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-service job must complete")
+	}
+}
+
+func TestPSBusyTime(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	q.Schedule(time.Second, nil)
+	q.Schedule(time.Second, nil)
+	e.Run()
+	// Busy from 0 to 2s.
+	if d := (q.BusyTime() - 2*time.Second).Abs(); d > 5*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want ~2s", q.BusyTime())
+	}
+}
+
+func TestPSIdleGapNotBusy(t *testing.T) {
+	var e Engine
+	q := NewPS(&e)
+	q.Schedule(100*time.Millisecond, nil)
+	e.At(time.Second, func() { q.Schedule(100*time.Millisecond, nil) })
+	e.Run()
+	if d := (q.BusyTime() - 200*time.Millisecond).Abs(); d > 5*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want ~200ms", q.BusyTime())
+	}
+}

@@ -1,0 +1,201 @@
+// Package sim is a small discrete-event simulation engine: an event heap
+// driven by a virtual clock, plus the queueing primitives the cluster
+// model is built from (FCFS service stations and processor-sharing
+// stations). The PRORD paper evaluates with a C++ event-driven cluster
+// simulator; this package is the Go equivalent substrate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so simultaneous events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor. The zero value is
+// ready to use. Engines are not safe for concurrent use: all state lives
+// on one goroutine, which is what makes the simulation deterministic.
+type Engine struct {
+	pq   eventHeap
+	now  time.Duration
+	seq  uint64
+	runs uint64 // events executed
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Executed reports how many events have run.
+func (e *Engine) Executed() uint64 { return e.runs }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: that is always a model bug.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time. Negative d is
+// treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	e.runs++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline; the clock is left at
+// min(deadline, time of last executed event). Events scheduled after the
+// deadline remain pending.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Station is a single-server service station: FCFS or processor sharing.
+type Station interface {
+	// Schedule enqueues a job; done fires at completion with the job's
+	// service start (FCFS) or arrival (PS) and completion times.
+	Schedule(service time.Duration, done func(start, end time.Duration))
+	// QueueLen reports jobs waiting or in service.
+	QueueLen() int
+	// Served reports completed jobs.
+	Served() uint64
+	// Utilization reports busy time as a fraction of elapsed time.
+	Utilization() float64
+}
+
+// FCFS is a first-come-first-served single-server station (one disk arm,
+// one NIC, one handoff engine...). Jobs are served one at a time in
+// arrival order; Schedule returns immediately and the done callback fires
+// at service completion.
+type FCFS struct {
+	eng       *Engine
+	busyUntil time.Duration
+	queued    int
+	served    uint64
+	busyTime  time.Duration
+}
+
+// NewFCFS returns a station driven by eng.
+func NewFCFS(eng *Engine) *FCFS {
+	return &FCFS{eng: eng}
+}
+
+// QueueLen reports jobs waiting or in service.
+func (q *FCFS) QueueLen() int { return q.queued }
+
+// Served reports completed jobs.
+func (q *FCFS) Served() uint64 { return q.served }
+
+// BusyTime reports the cumulative time the server has spent serving.
+func (q *FCFS) BusyTime() time.Duration { return q.busyTime }
+
+// Utilization reports busy time as a fraction of the elapsed virtual time.
+func (q *FCFS) Utilization() float64 {
+	if q.eng.Now() == 0 {
+		return 0
+	}
+	busy := q.busyTime
+	// Don't count service scheduled beyond the current clock.
+	if q.busyUntil > q.eng.Now() {
+		busy -= q.busyUntil - q.eng.Now()
+		if busy < 0 {
+			busy = 0
+		}
+	}
+	return float64(busy) / float64(q.eng.Now())
+}
+
+// Schedule enqueues a job needing the given service time. done (may be
+// nil) is invoked at completion with the job's service start and end
+// times. Negative service times are treated as zero.
+func (q *FCFS) Schedule(service time.Duration, done func(start, end time.Duration)) {
+	if service < 0 {
+		service = 0
+	}
+	start := q.eng.Now()
+	if q.busyUntil > start {
+		start = q.busyUntil
+	}
+	end := start + service
+	q.busyUntil = end
+	q.busyTime += service
+	q.queued++
+	q.eng.At(end, func() {
+		q.queued--
+		q.served++
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+var (
+	_ Station = (*FCFS)(nil)
+	_ Station = (*PS)(nil)
+)
+
+// Delay returns how long a job arriving now would wait before starting
+// service.
+func (q *FCFS) Delay() time.Duration {
+	if q.busyUntil <= q.eng.Now() {
+		return 0
+	}
+	return q.busyUntil - q.eng.Now()
+}

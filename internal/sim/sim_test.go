@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(2*time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("nested scheduling times wrong: %v", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past should panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterIsNow(t *testing.T) {
+	var e Engine
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative After should fire at now; ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("RunUntil(5s) ran %d events, want 5", count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("Run after RunUntil ran %d total, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Fatalf("idle RunUntil should advance clock, Now = %v", e.Now())
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		var e Engine
+		var got []time.Duration
+		for _, off := range offsets {
+			d := time.Duration(off) * time.Microsecond
+			e.At(d, func() { got = append(got, d) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCFSSequentialService(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	var spans [][2]time.Duration
+	for i := 0; i < 3; i++ {
+		q.Schedule(10*time.Millisecond, func(start, end time.Duration) {
+			spans = append(spans, [2]time.Duration{start, end})
+		})
+	}
+	e.Run()
+	if len(spans) != 3 {
+		t.Fatalf("served %d, want 3", len(spans))
+	}
+	for i, s := range spans {
+		wantStart := time.Duration(i) * 10 * time.Millisecond
+		if s[0] != wantStart || s[1] != wantStart+10*time.Millisecond {
+			t.Fatalf("job %d span %v, want [%v, +10ms]", i, s, wantStart)
+		}
+	}
+	if q.Served() != 3 || q.QueueLen() != 0 {
+		t.Fatalf("Served=%d QueueLen=%d", q.Served(), q.QueueLen())
+	}
+	if q.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 30ms", q.BusyTime())
+	}
+}
+
+func TestFCFSIdleGap(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	var starts []time.Duration
+	q.Schedule(time.Millisecond, func(s, _ time.Duration) { starts = append(starts, s) })
+	e.At(time.Second, func() {
+		q.Schedule(time.Millisecond, func(s, _ time.Duration) { starts = append(starts, s) })
+	})
+	e.Run()
+	if starts[0] != 0 || starts[1] != time.Second {
+		t.Fatalf("starts = %v; second job should start on arrival after idle gap", starts)
+	}
+}
+
+func TestFCFSDelay(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	if q.Delay() != 0 {
+		t.Fatal("empty queue should have zero delay")
+	}
+	q.Schedule(5*time.Millisecond, nil)
+	q.Schedule(5*time.Millisecond, nil)
+	if q.Delay() != 10*time.Millisecond {
+		t.Fatalf("Delay = %v, want 10ms", q.Delay())
+	}
+	e.Run()
+	if q.Delay() != 0 {
+		t.Fatal("drained queue should have zero delay")
+	}
+}
+
+func TestFCFSQueueLenDuringService(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	q.Schedule(10*time.Millisecond, nil)
+	q.Schedule(10*time.Millisecond, nil)
+	if q.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d, want 2", q.QueueLen())
+	}
+	e.At(15*time.Millisecond, func() {
+		if q.QueueLen() != 1 {
+			t.Errorf("QueueLen mid-service = %d, want 1", q.QueueLen())
+		}
+	})
+	e.Run()
+}
+
+func TestFCFSNegativeService(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	done := false
+	q.Schedule(-time.Second, func(s, end time.Duration) {
+		done = true
+		if s != 0 || end != 0 {
+			t.Errorf("negative service should clamp to zero: %v %v", s, end)
+		}
+	})
+	e.Run()
+	if !done {
+		t.Fatal("job never completed")
+	}
+}
+
+func TestFCFSConservationProperty(t *testing.T) {
+	// Work conservation: total completion time of n jobs on an initially
+	// idle FCFS equals the sum of service times when all arrive at t=0.
+	f := func(ms []uint8) bool {
+		var e Engine
+		q := NewFCFS(&e)
+		var total time.Duration
+		var last time.Duration
+		for _, m := range ms {
+			d := time.Duration(m) * time.Millisecond
+			total += d
+			q.Schedule(d, func(_, end time.Duration) { last = end })
+		}
+		e.Run()
+		return len(ms) == 0 || last == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var e Engine
+	q := NewFCFS(&e)
+	q.Schedule(time.Second, nil)
+	e.Run()
+	e.RunUntil(2 * time.Second)
+	u := q.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed())
+	}
+}

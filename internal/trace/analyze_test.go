@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(&Trace{Files: map[string]int64{}})
+	if a.Stats.Requests != 0 || a.ZipfTheta != 0 {
+		t.Fatalf("empty analysis should be zeroed: %+v", a)
+	}
+}
+
+func TestAnalyzeSyntheticWorkload(t *testing.T) {
+	_, tr, err := GeneratePreset(PresetSynthetic, 0.3, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr)
+	if a.Stats.Requests != len(tr.Requests) {
+		t.Fatal("stats mismatch")
+	}
+	// The generator is Zipf-flavored: the fit should land in the broad
+	// web-trace band with a decent fit quality.
+	if a.ZipfTheta < 0.3 || a.ZipfTheta > 2.0 {
+		t.Fatalf("ZipfTheta = %v outside the plausible band", a.ZipfTheta)
+	}
+	if a.ZipfR2 < 0.5 {
+		t.Fatalf("ZipfR2 = %v, popularity should be roughly power-law", a.ZipfR2)
+	}
+	// Heavy-headed: the top decile carries a majority of traffic.
+	if a.TopDecileShare < 0.4 {
+		t.Fatalf("TopDecileShare = %v, want a hot head", a.TopDecileShare)
+	}
+	if a.MeanPagesPerSession < 2 {
+		t.Fatalf("MeanPagesPerSession = %v too low", a.MeanPagesPerSession)
+	}
+	if a.MaxSessionRequests <= 0 || a.MeanSessionGap <= 0 {
+		t.Fatalf("session structure degenerate: %+v", a)
+	}
+	if a.DynamicFrac != 0 {
+		t.Fatalf("static preset should have no dynamic traffic: %v", a.DynamicFrac)
+	}
+}
+
+func TestAnalyzeFlashCrowdIsMoreSkewed(t *testing.T) {
+	_, wc, err := GeneratePreset(PresetWorldCup, 0.01, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs, err := GeneratePreset(PresetCS, 0.3, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, ac := Analyze(wc), Analyze(cs)
+	if aw.TopDecileShare <= ac.TopDecileShare {
+		t.Fatalf("WorldCup head share %v should exceed CS %v",
+			aw.TopDecileShare, ac.TopDecileShare)
+	}
+}
+
+func TestAnalyzeDynamicFraction(t *testing.T) {
+	tr := &Trace{
+		Files: map[string]int64{"/a.html": 10, "/b.cgi": 10},
+		Requests: []Request{
+			{Path: "/a.html", Size: 10},
+			{Path: "/b.cgi", Size: 10, Dynamic: true},
+			{Path: "/b.cgi", Size: 10, Dynamic: true},
+			{Path: "/a.html", Size: 10},
+		},
+	}
+	a := Analyze(tr)
+	if a.DynamicFrac != 0.5 {
+		t.Fatalf("DynamicFrac = %v, want 0.5", a.DynamicFrac)
+	}
+}
+
+func TestAnalyzeUniformTraceHasLowTheta(t *testing.T) {
+	// Perfectly uniform popularity: theta near 0.
+	tr := &Trace{Files: map[string]int64{}}
+	for f := 0; f < 50; f++ {
+		path := "/f" + string(rune('a'+f%26)) + string(rune('a'+f/26))
+		tr.Files[path] = 100
+		for k := 0; k < 4; k++ {
+			tr.Requests = append(tr.Requests, Request{
+				Time: time.Duration(f*4+k) * time.Second,
+				Path: path, Size: 100, Session: f,
+			})
+		}
+	}
+	a := Analyze(tr)
+	if a.ZipfTheta > 0.1 {
+		t.Fatalf("uniform trace theta = %v, want ~0", a.ZipfTheta)
+	}
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"prord/internal/clf"
+)
+
+// clfEpoch anchors trace offsets to wall-clock timestamps when exporting.
+var clfEpoch = time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// WriteCLF exports t as a Common Log Format stream.
+func WriteCLF(w io.Writer, t *Trace) error {
+	cw := clf.NewWriter(w)
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		e := clf.Entry{
+			Host:   r.Client,
+			Time:   clfEpoch.Add(r.Time),
+			Method: "GET",
+			Path:   r.Path,
+			Proto:  "HTTP/1.1",
+			Status: 200,
+			Bytes:  r.Size,
+		}
+		if err := cw.Write(e); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// embeddedExtensions lists object suffixes treated as embedded content
+// when sessionizing real logs where the site structure is unknown.
+var embeddedExtensions = map[string]bool{
+	".gif": true, ".jpg": true, ".jpeg": true, ".png": true, ".ico": true,
+	".css": true, ".js": true, ".class": true, ".swf": true, ".bmp": true,
+	".mp3": true, ".wav": true, ".avi": true, ".mpg": true,
+}
+
+// IsEmbeddedPath reports whether p looks like an embedded object rather
+// than a main page, judged by its file extension.
+func IsEmbeddedPath(p string) bool {
+	return embeddedExtensions[strings.ToLower(path.Ext(p))]
+}
+
+// dynamicExtensions lists suffixes treated as generated-per-request
+// content when the ground-truth Dynamic flag is unavailable.
+var dynamicExtensions = map[string]bool{
+	".cgi": true, ".php": true, ".asp": true, ".jsp": true, ".pl": true,
+}
+
+// IsDynamicPath reports whether p looks like dynamically generated
+// (uncacheable) content, judged by its extension.
+func IsDynamicPath(p string) bool {
+	return dynamicExtensions[strings.ToLower(path.Ext(p))]
+}
+
+// SessionizeOptions controls CLF import.
+type SessionizeOptions struct {
+	// Timeout ends a client's session after this much idle time; a new
+	// request then opens a new session (new persistent connection).
+	Timeout time.Duration
+	// EmbedWindow attributes an embedded-looking request to the client's
+	// most recent main page if it arrives within this window.
+	EmbedWindow time.Duration
+}
+
+// DefaultSessionizeOptions mirrors common web-usage-mining practice
+// (30-minute session timeout) with a short embedded-object window.
+func DefaultSessionizeOptions() SessionizeOptions {
+	return SessionizeOptions{Timeout: 30 * time.Minute, EmbedWindow: 10 * time.Second}
+}
+
+// FromCLF builds a trace from parsed log entries: it sessionizes per
+// client host with the given idle timeout, classifies embedded objects by
+// extension and recency, sizes the file table from the largest observed
+// response per path, and rebases times to a zero origin.
+func FromCLF(name string, entries []clf.Entry, opt SessionizeOptions) *Trace {
+	if opt.Timeout <= 0 {
+		opt.Timeout = DefaultSessionizeOptions().Timeout
+	}
+	if opt.EmbedWindow <= 0 {
+		opt.EmbedWindow = DefaultSessionizeOptions().EmbedWindow
+	}
+	sorted := make([]clf.Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+
+	t := &Trace{Name: name, Files: make(map[string]int64)}
+	if len(sorted) == 0 {
+		return t
+	}
+	origin := sorted[0].Time
+
+	type clientState struct {
+		session  int
+		lastSeen time.Time
+		lastPage string
+		pageSeen time.Time
+	}
+	clients := make(map[string]*clientState)
+	nextSession := 0
+
+	for _, e := range sorted {
+		if e.Method != "GET" || e.Status >= 400 {
+			continue
+		}
+		size := e.Bytes
+		if size < 0 {
+			size = 0
+		}
+		cs, ok := clients[e.Host]
+		if !ok || e.Time.Sub(cs.lastSeen) > opt.Timeout {
+			cs = &clientState{session: nextSession}
+			nextSession++
+			clients[e.Host] = cs
+		}
+		cs.lastSeen = e.Time
+
+		r := Request{
+			Time:    e.Time.Sub(origin),
+			Session: cs.session,
+			Client:  e.Host,
+			Path:    e.Path,
+			Size:    size,
+			Group:   -1,
+			Dynamic: IsDynamicPath(e.Path),
+		}
+		if IsEmbeddedPath(e.Path) && cs.lastPage != "" &&
+			e.Time.Sub(cs.pageSeen) <= opt.EmbedWindow {
+			r.Embedded = true
+			r.Parent = cs.lastPage
+		} else if !IsEmbeddedPath(e.Path) {
+			cs.lastPage = e.Path
+			cs.pageSeen = e.Time
+		}
+		if size > t.Files[e.Path] {
+			t.Files[e.Path] = size
+		}
+		t.Requests = append(t.Requests, r)
+	}
+	// The file table records the max response size per path; requests must
+	// agree with the table for Validate, so rewrite sizes.
+	for i := range t.Requests {
+		t.Requests[i].Size = t.Files[t.Requests[i].Path]
+	}
+	return t
+}
+
+// ReadCLF reads a whole CLF stream and sessionizes it into a trace.
+func ReadCLF(name string, r io.Reader, opt SessionizeOptions) (*Trace, error) {
+	entries, err := clf.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return FromCLF(name, entries, opt), nil
+}

@@ -1,0 +1,171 @@
+package prord
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.1
+	return o
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Backends != 8 || o.MemoryFraction != 0.3 || o.MiningOrder != 2 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 10 {
+		t.Fatalf("too few experiments: %v", ids)
+	}
+	for _, want := range []string{"table1", "fig6", "fig7", "fig8", "fig9"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	rep, err := RunExperiment("table1", fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "table1" || len(rep.Rows) == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table1") {
+		t.Fatal("WriteTo output missing id")
+	}
+	if rep.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", fastOptions()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestCompareShapes(t *testing.T) {
+	rows, err := Compare("synthetic", nil, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("default comparison rows = %d, want 4", len(rows))
+	}
+	byName := make(map[string]PolicySummary)
+	for _, r := range rows {
+		byName[r.Policy] = r
+		if r.Throughput <= 0 || r.MeanResponse <= 0 {
+			t.Fatalf("degenerate summary: %+v", r)
+		}
+	}
+	if byName["PRORD"].Dispatches >= byName["LARD"].Dispatches {
+		t.Fatal("PRORD should dispatch less than LARD")
+	}
+	if byName["PRORD"].Prefetches == 0 {
+		t.Fatal("PRORD should prefetch")
+	}
+	if byName["WRR"].Dispatches != 0 {
+		t.Fatal("WRR never dispatches")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare("mars", nil, fastOptions()); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	if _, err := Compare("cs", []string{"nope"}, fastOptions()); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestWriteSyntheticTraceAndMineLog(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteSyntheticTrace(&buf, "cs", 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1000 {
+		t.Fatalf("wrote %d requests, want >= 1000", n)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != n {
+		t.Fatalf("CLF lines %d != requests %d", lines, n)
+	}
+
+	sum, err := MineLog(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != n {
+		t.Fatalf("mined %d requests, want %d", sum.Requests, n)
+	}
+	if sum.Contexts == 0 || sum.Transitions == 0 {
+		t.Fatalf("mining produced no model: %+v", sum)
+	}
+	if sum.BundledPages == 0 || len(sum.Bundles) != sum.BundledPages {
+		t.Fatalf("bundle mining inconsistent: %+v", sum)
+	}
+	if len(sum.TopFiles) == 0 {
+		t.Fatal("no popularity ranking")
+	}
+}
+
+func TestWriteSyntheticTraceUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteSyntheticTrace(&buf, "nope", 1, 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestWorkloadsAndPolicies(t *testing.T) {
+	if len(Workloads()) != 3 {
+		t.Fatalf("Workloads = %v", Workloads())
+	}
+	if len(Policies()) != 6 {
+		t.Fatalf("Policies = %v", Policies())
+	}
+}
+
+func TestAnalyzeLog(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteSyntheticTrace(&buf, "worldcup", 0.005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != n {
+		t.Fatalf("analyzed %d requests, want %d", a.Requests, n)
+	}
+	if a.ZipfTheta <= 0 || a.ZipfR2 <= 0 {
+		t.Fatalf("Zipf fit degenerate: %+v", a)
+	}
+	if a.TopDecileShare <= 0.2 {
+		t.Fatalf("flash crowd should have a hot head: %+v", a)
+	}
+	if a.MeanPagesPerSession <= 1 || a.EmbeddedFrac <= 0 {
+		t.Fatalf("session structure degenerate: %+v", a)
+	}
+}
