@@ -1,0 +1,30 @@
+# PRORD build, test and correctness tooling.
+#
+#   make build   compile everything
+#   make test    tier-1 tests
+#   make race    tests under the race detector (includes the httpfront
+#                concurrency stress test and the determinism regressions)
+#   make vet     go vet
+#   make lint    the repo's custom determinism/concurrency analyzers
+#   make ci      the full gate CI runs on every push and PR
+
+GO ?= go
+
+.PHONY: build test race vet lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/prordlint ./...
+
+ci: build vet lint race

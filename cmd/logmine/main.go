@@ -30,6 +30,14 @@ func main() {
 		out     = flag.String("o", "", "save the mined model as JSON to this file")
 	)
 	flag.Parse()
+	if *order < 1 {
+		fmt.Fprintf(os.Stderr, "logmine: -order must be at least 1, got %d\n", *order)
+		os.Exit(1)
+	}
+	if *bundles < 0 || *top < 0 {
+		fmt.Fprintf(os.Stderr, "logmine: -bundles and -top must not be negative, got %d and %d\n", *bundles, *top)
+		os.Exit(1)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

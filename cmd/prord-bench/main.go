@@ -42,6 +42,21 @@ func main() {
 		thinkMs     = flag.Int("think-ms", 25, "client think time between pages (ms)")
 	)
 	flag.Parse()
+	if *backends <= 0 {
+		fail(fmt.Errorf("-backends must be positive, got %d", *backends))
+	}
+	if *sessions <= 0 {
+		fail(fmt.Errorf("-sessions must be positive, got %d", *sessions))
+	}
+	if *concurrency <= 0 {
+		fail(fmt.Errorf("-concurrency must be positive, got %d", *concurrency))
+	}
+	if *cacheMB <= 0 {
+		fail(fmt.Errorf("-cache-mb must be positive, got %d", *cacheMB))
+	}
+	if *missMs < 0 || *thinkMs < 0 {
+		fail(fmt.Errorf("-miss-ms and -think-ms must not be negative, got %d and %d", *missMs, *thinkMs))
+	}
 
 	site, tr, err := trace.GeneratePreset(trace.PresetSynthetic, 0.2, *seed)
 	if err != nil {

@@ -41,6 +41,15 @@ func main() {
 		model    = flag.String("model", "", "load a mined model (logmine -o) instead of mining at startup")
 	)
 	flag.Parse()
+	if *backends <= 0 {
+		fail(fmt.Errorf("-backends must be positive, got %d", *backends))
+	}
+	if *cacheMB <= 0 {
+		fail(fmt.Errorf("-cache-mb must be positive, got %d", *cacheMB))
+	}
+	if *missMs < 0 {
+		fail(fmt.Errorf("-miss-ms must not be negative, got %d", *missMs))
+	}
 
 	preset, err := presetByName(*workload)
 	if err != nil {

@@ -31,6 +31,22 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-sim: -scale must be positive, got %g\n", *scale)
+		os.Exit(1)
+	}
+	if *backends <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-sim: -backends must be positive, got %d\n", *backends)
+		os.Exit(1)
+	}
+	if *memFrac <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-sim: -mem must be positive, got %g\n", *memFrac)
+		os.Exit(1)
+	}
+	if *load <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-sim: -load must be positive, got %g\n", *load)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiment.IDs(), "\n"))

@@ -1,0 +1,164 @@
+// Command prordlint runs the PRORD repository's custom determinism and
+// concurrency analyzers (internal/lint) over Go packages.
+//
+// Usage:
+//
+//	prordlint ./...                     # whole module, all analyzers
+//	prordlint -json ./internal/sim      # machine-readable findings
+//	prordlint -disable maporder ./...   # all but one analyzer
+//	prordlint -enable norand,noprint .  # just these two
+//	prordlint -list                     # describe the analyzers
+//
+// Findings print as file:line:col: [analyzer] message. Suppress an
+// intentional violation in source with:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it. Exit status: 0 clean,
+// 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prord/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("prordlint", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		verbose = fs.Bool("v", false, "also report type-check errors encountered while loading")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: prordlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prordlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prordlint:", err)
+		return 2
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "prordlint: %s: type error: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := findings
+		if out == nil {
+			out = []lint.Finding{} // emit [] rather than null
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "prordlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "prordlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the full suite.
+func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	split := func(s string) ([]string, error) {
+		if s == "" {
+			return nil, nil
+		}
+		var names []string
+		for _, n := range strings.Split(s, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see prordlint -list)", n)
+			}
+			names = append(names, n)
+		}
+		return names, nil
+	}
+	enabled, err := split(enable)
+	if err != nil {
+		return nil, err
+	}
+	disabled, err := split(disable)
+	if err != nil {
+		return nil, err
+	}
+	if len(enabled) > 0 && len(disabled) > 0 {
+		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
+	}
+	if len(enabled) > 0 {
+		var out []*lint.Analyzer
+		for _, n := range enabled {
+			out = append(out, byName[n])
+		}
+		return out, nil
+	}
+	skip := map[string]bool{}
+	for _, n := range disabled {
+		skip[n] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("all analyzers disabled")
+	}
+	return out, nil
+}

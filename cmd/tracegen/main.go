@@ -24,6 +24,10 @@ func main() {
 		out      = flag.String("o", "-", "output file ('-' = stdout)")
 	)
 	flag.Parse()
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -scale must be positive, got %g\n", *scale)
+		os.Exit(1)
+	}
 
 	w := os.Stdout
 	if *out != "-" {

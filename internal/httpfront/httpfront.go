@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"sort"
 	"sync"
 
 	"prord/internal/cache"
@@ -155,6 +156,9 @@ func (v *lockedView) PrefetchedAt(file string) []int {
 	for s := range v.prefetched[file] {
 		out = append(out, s)
 	}
+	// Sorted so policies that pick the first candidate behave the same
+	// on every run instead of following map iteration order.
+	sort.Ints(out)
 	return out
 }
 
@@ -308,9 +312,17 @@ func (d *Distributor) done(server int, path string, failed bool) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	server, jobs := d.route(r.RemoteAddr, r.URL.Path)
+// enqueuePrefetch hands jobs to the background prefetcher. The channel
+// is read under the lock so a concurrent Close can never race the send.
+func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.prefetch == nil {
+		return
+	}
 	for _, job := range jobs {
 		select {
 		case d.prefetch <- job:
@@ -318,6 +330,12 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// The prefetch queue is best-effort; drop under pressure.
 		}
 	}
+}
+
+// ServeHTTP implements http.Handler.
+func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	server, jobs := d.route(r.RemoteAddr, r.URL.Path)
+	d.enqueuePrefetch(jobs)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	rec.Header().Set(BackendHeader, fmt.Sprintf("%d", server))
 	d.proxies[server].ServeHTTP(rec, r)
@@ -364,10 +382,15 @@ func (d *Distributor) Stats() Stats {
 	return d.stats
 }
 
-// Close stops the background prefetcher.
+// Close stops the background prefetcher. Safe to call concurrently with
+// in-flight requests: senders check the channel under the lock, so the
+// close cannot race an enqueue.
 func (d *Distributor) Close() {
-	if d.prefetch != nil {
-		close(d.prefetch)
-		d.prefetch = nil
+	d.mu.Lock()
+	ch := d.prefetch
+	d.prefetch = nil
+	d.mu.Unlock()
+	if ch != nil {
+		close(ch)
 	}
 }

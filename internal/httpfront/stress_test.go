@@ -1,0 +1,140 @@
+package httpfront
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyBackend wraps a DemoBackend behind an availability switch so the
+// stress test can take backends down and bring them back ("leave"/"join")
+// while traffic is in flight, without tearing down listeners.
+type flakyBackend struct {
+	inner *DemoBackend
+	up    atomic.Bool
+}
+
+func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !f.up.Load() {
+		http.Error(w, "backend down", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestStressConcurrentTrafficWithChurn hammers the distributor from many
+// goroutines while backends flap and Stats is polled concurrently. Run
+// under -race it proves the routing state, locality maps, prefetch
+// channel and counters are properly synchronized; the count assertions
+// prove no request is dropped or double-counted under churn.
+func TestStressConcurrentTrafficWithChurn(t *testing.T) {
+	const (
+		nBackends = 4
+		nClients  = 8
+		nRequests = 60
+	)
+	var flaky []*flakyBackend
+	var cfg Config
+	for i := 0; i < nBackends; i++ {
+		f := &flakyBackend{inner: NewDemoBackend("b"+strconv.Itoa(i), testFiles, 1<<20, 0)}
+		f.up.Store(true)
+		flaky = append(flaky, f)
+		srv := httptest.NewServer(f)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, u)
+	}
+	cfg.Miner = testMiner()
+	cfg.Prefetch = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(d)
+	t.Cleanup(front.Close)
+
+	stop := make(chan struct{})
+	var churners sync.WaitGroup
+
+	// Churn: one goroutine repeatedly takes each backend down and up.
+	churners.Add(1)
+	go func() {
+		defer churners.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := flaky[i%len(flaky)]
+			b.up.Store(false)
+			time.Sleep(200 * time.Microsecond)
+			b.up.Store(true)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Observer: poll Stats concurrently with routing updates.
+	churners.Add(1)
+	go func() {
+		defer churners.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Stats()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	paths := []string{"/a.html", "/a.gif", "/b.html", "/b.gif"}
+	var issued atomic.Int64
+	var clients sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < nRequests; i++ {
+				resp, err := client.Get(front.URL + paths[(id+i)%len(paths)])
+				if err != nil {
+					t.Errorf("client %d: %v", id, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				issued.Add(1)
+			}
+		}(c)
+	}
+	clients.Wait()
+	close(stop)
+	churners.Wait()
+
+	// Close while the prefetch loop may still be draining: the
+	// channel handoff is lock-guarded, so this must be race-free too.
+	d.Close()
+
+	s := d.Stats()
+	if issued.Load() != int64(nClients*nRequests) {
+		t.Fatalf("issued = %d, want %d (a client aborted)", issued.Load(), nClients*nRequests)
+	}
+	if s.Requests != int64(nClients*nRequests) {
+		t.Errorf("requests = %d, want %d (dropped or double-counted under churn)", s.Requests, nClients*nRequests)
+	}
+	if s.Dispatches == 0 {
+		t.Error("no dispatches recorded")
+	}
+}

@@ -1,0 +1,191 @@
+// Package lint is a stdlib-only static-analysis engine for the PRORD
+// repository. It enforces the determinism and concurrency invariants the
+// compiler cannot see: seeded randomness only (norand), simulated time in
+// simulation code (nowallclock), order-insensitive map iteration in
+// aggregation paths (maporder), lock/unlock pairing and locked access to
+// shared state (mutexhygiene), and no stray printing from library code
+// (noprint).
+//
+// The engine is built on go/parser, go/types and go/importer alone — no
+// module dependencies — and is exposed as the prordlint command. Findings
+// can be suppressed in source with a directive on the offending line or
+// the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, flags and suppression
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description shown by prordlint -list.
+	Doc string
+	// Run inspects the package via pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoRand,
+		NoWallClock,
+		MapOrder,
+		MutexHygiene,
+		NoPrint,
+	}
+}
+
+// Run applies the given analyzers to the packages and returns the
+// surviving findings (suppressed ones removed, malformed suppression
+// directives added) sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		findings = append(findings, sup.malformed...)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !sup.matches(f) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int // the line the directive suppresses
+	analyzers map[string]bool
+}
+
+type suppressions struct {
+	directives []ignoreDirective
+	malformed  []Finding
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions parses every //lint:ignore directive in the
+// package. A directive suppresses matching findings on its own line (for
+// trailing comments) and on the line below it (for directives placed
+// above the offending statement).
+func collectSuppressions(pkg *Package) suppressions {
+	var s suppressions
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "lint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Message:  "malformed directive: need //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				s.directives = append(s.directives, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: names,
+				})
+			}
+		}
+	}
+	return s
+}
+
+func (s suppressions) matches(f Finding) bool {
+	for _, d := range s.directives {
+		if d.file != f.File {
+			continue
+		}
+		if d.line != f.Line && d.line != f.Line-1 {
+			continue
+		}
+		if d.analyzers[f.Analyzer] || d.analyzers["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFiles applies fn to every node of every file in the pass's package.
+func (p *Pass) walkFiles(fn func(n ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

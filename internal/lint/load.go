@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("prord/internal/sim").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file in the loader's shared file set.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete if the
+	// sources had type errors; see TypeErrors).
+	Types *types.Package
+	// Info holds the resolved types, uses and definitions.
+	Info *types.Info
+	// TypeErrors are soft type-checking errors. Analysis proceeds on the
+	// partial information; go build remains the authority on validity.
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages of one module from source.
+// Imports within the module are resolved recursively from the module
+// tree; all other imports (the standard library) go through the
+// go/importer source importer. No export data or go command is needed.
+type Loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package // keyed by import path
+	loading    map[string]bool     // import-cycle guard
+}
+
+// NewLoader returns a Loader rooted at the module containing dir. It
+// locates go.mod by walking upward and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleDir:  modDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleDir returns the root directory of the loaded module.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// findModule walks up from dir to the enclosing go.mod and parses its
+// module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Expand resolves package patterns to directories. Supported forms:
+// "./..." and "dir/..." (recursive), plain directories, and
+// module-rooted import paths. Directories without non-test Go files are
+// skipped in recursive walks but are an error when named directly.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all", pat == "...":
+			pat = "./..."
+			fallthrough
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			if root == "." || root == "" {
+				root = l.moduleDir
+			}
+			root = l.resolveDir(root)
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			d := l.resolveDir(pat)
+			if !hasGoFiles(d) {
+				return nil, fmt.Errorf("lint: no Go files in %s", pat)
+			}
+			add(d)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// resolveDir maps a pattern root to a directory: an existing path is used
+// as-is; otherwise a module-rooted import path is tried.
+func (l *Loader) resolveDir(root string) string {
+	if fi, err := os.Stat(root); err == nil && fi.IsDir() {
+		return root
+	}
+	if root == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(root, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	return root
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(l.importPathFor(abs), abs)
+}
+
+// importPathFor derives the import path of a directory inside the module.
+func (l *Loader) importPathFor(absDir string) string {
+	rel, err := filepath.Rel(l.moduleDir, absDir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// load parses and checks one package, memoized by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	// Check never aborts on soft errors (they accumulate via conf.Error);
+	// the partial Info is enough for analysis.
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-local paths load from the
+// module tree, everything else from the standard library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rest := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		pkg, err := l.load(path, filepath.Join(l.moduleDir, filepath.FromSlash(rest)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load expands patterns and returns the analyzed packages in a stable
+// order.
+func Load(patterns []string) ([]*Package, error) {
+	start := "."
+	if len(patterns) > 0 && !strings.Contains(patterns[0], "...") {
+		if fi, err := os.Stat(patterns[0]); err == nil && fi.IsDir() {
+			start = patterns[0]
+		}
+	}
+	l, err := NewLoader(start)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simulatedTimePackages are the package-path suffixes where every clock
+// read must come from the simulated clock: their results are part of the
+// reproducibility contract, and a wall-clock read makes two runs of the
+// same seed diverge.
+var simulatedTimePackages = []string{
+	"internal/sim",
+	"internal/cluster",
+	"internal/policy",
+	"internal/replicate",
+}
+
+// wallClockFuncs are the time package functions that read or wait on the
+// wall (or process monotonic) clock. Pure constructors and conversions
+// (time.Duration, time.Millisecond, d.Seconds(), ...) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// NoWallClock forbids wall-clock reads in simulation and policy code.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Since/Sleep (and friends) in simulated-time packages",
+	Run: func(pass *Pass) {
+		covered := false
+		for _, suffix := range simulatedTimePackages {
+			if strings.HasSuffix(pass.Pkg.Path, suffix) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return
+		}
+		pass.walkFiles(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageOf(pass, sel)
+			if !ok || pkgPath != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; simulation/policy code must use the simulated clock for replayable results",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	},
+}

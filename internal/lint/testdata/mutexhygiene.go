@@ -1,0 +1,85 @@
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwcounter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func leakLock(c *counter) {
+	c.mu.Lock() // want mutexhygiene
+	c.n++
+}
+
+func leakRLock(c *rwcounter) int {
+	c.mu.RLock() // want mutexhygiene
+	return c.n
+}
+
+func pairedDefer(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func pairedDirect(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+}
+
+func pairedRW(c *rwcounter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func deferredClosureUnlock(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// Inc locks before writing: allowed.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Reset writes c.n with no lock: the exported API must synchronize.
+func (c *counter) Reset() {
+	c.n = 0 // want mutexhygiene
+}
+
+// Bump is also unlocked, via IncDecStmt.
+func (c *counter) Bump() {
+	c.n++ // want mutexhygiene
+}
+
+// read is unexported: assumed to run with the lock held by its caller.
+func (c *counter) read() int {
+	return c.n
+}
+
+// reset is unexported: writes without locking are the caller's business.
+func (c *counter) reset() {
+	c.n = 0
+}
+
+// Peek only reads; the write rule does not apply.
+func (c *counter) Peek() int {
+	return c.n
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func chatty() {
+	fmt.Println("hello")          // want noprint
+	fmt.Printf("%d\n", 1)         // want noprint
+	fmt.Print("x")                // want noprint
+	println("debug")              // want noprint
+	fmt.Fprintf(os.Stdout, "y\n") // want noprint
+	fmt.Fprintln(os.Stderr, "z")  // want noprint
+}
+
+func quiet(w io.Writer) string {
+	fmt.Fprintf(w, "to a writer is fine\n")
+	return fmt.Sprintf("sprintf is fine")
+}

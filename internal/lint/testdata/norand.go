@@ -1,0 +1,25 @@
+package fixture
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func useGlobals() {
+	_ = rand.Intn(10)      // want norand
+	_ = rand.Int63()       // want norand
+	_ = rand.Float64()     // want norand
+	_ = rand.Perm(4)       // want norand
+	rand.Shuffle(3, nil)   // want norand
+	_ = mrand.ExpFloat64() // want norand
+	f := rand.Intn         // want norand
+	_ = f
+}
+
+func seededIsFine() {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)                    // method on a seeded *rand.Rand: allowed
+	_ = r.Float64()                   // allowed
+	z := rand.NewZipf(r, 1.1, 1, 100) // constructor: allowed
+	_ = z
+}

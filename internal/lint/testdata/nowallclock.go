@@ -1,0 +1,17 @@
+package fixture
+
+import "time"
+
+func readsWallClock() time.Duration {
+	start := time.Now()            // want nowallclock
+	time.Sleep(time.Millisecond)   // want nowallclock
+	<-time.After(time.Millisecond) // want nowallclock
+	return time.Since(start)       // want nowallclock
+}
+
+func pureTimeIsFine() time.Duration {
+	d := 5 * time.Second
+	d += time.Duration(3) * time.Millisecond
+	_ = d.Seconds()
+	return d
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import "fmt"
+
+func suppressed() {
+	//lint:ignore noprint demo output is intentional here
+	fmt.Println("above-line directive")
+	fmt.Println("same-line directive") //lint:ignore noprint trailing form
+}
+
+func notSuppressed() {
+	//lint:ignore norand wrong analyzer named
+	fmt.Println("still flagged")
+	//lint:ignore noprint
+	fmt.Println("reason-less directive suppresses nothing")
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"prord/internal/trace"
 )
@@ -69,6 +70,9 @@ func (m *Miner) Save(w io.Writer) error {
 		for page := range c.vocabulary {
 			cj.Vocabulary = append(cj.Vocabulary, page)
 		}
+		// Sorted so two Saves of the same miner are byte-identical (maps
+		// marshal sorted, but this slice would keep iteration order).
+		sort.Strings(cj.Vocabulary)
 		out.Categorizer = cj
 	}
 	enc := json.NewEncoder(w)
