@@ -6,11 +6,12 @@
 #                concurrency stress test and the determinism regressions)
 #   make vet     go vet
 #   make lint    the repo's custom determinism/concurrency analyzers
+#   make bench-smoke  short live-cluster loadgen run over all policies
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint ci
+.PHONY: build test race vet lint bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,5 +27,13 @@ vet:
 
 lint:
 	$(GO) run ./cmd/prordlint ./...
+
+# A ~30s live benchmark: open-loop load against 2 demo backends for each
+# of the three headline policies, with the simulator comparison attached.
+# Produces BENCH_loadgen.json (CI uploads it as an artifact).
+bench-smoke:
+	$(GO) run ./cmd/prord-loadgen -mode open -policy WRR,LARD,PRORD \
+		-backends 2 -rate 300 -duration 10s -warmup 2s -seed 1 \
+		-scale 0.1 -out BENCH_loadgen.json
 
 ci: build vet lint race

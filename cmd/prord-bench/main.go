@@ -9,6 +9,10 @@
 //
 //	prord-bench -backends 4 -sessions 200 -concurrency 16
 //	prord-bench -policies PRORD,LARD -miss-ms 5
+//	prord-bench -json BENCH_http.json
+//
+// With -json the results are also written as the versioned artifact
+// schema shared with prord-loadgen (metrics.BenchSchema).
 package main
 
 import (
@@ -19,12 +23,12 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"prord/internal/httpfront"
+	"prord/internal/metrics"
 	"prord/internal/mining"
 	"prord/internal/policy"
 	"prord/internal/trace"
@@ -40,6 +44,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "workload seed")
 		policies    = flag.String("policies", "WRR,LARD,PRORD", "comma-separated policy list")
 		thinkMs     = flag.Int("think-ms", 25, "client think time between pages (ms)")
+		jsonOut     = flag.String("json", "", "also write the versioned benchmark artifact to this path")
 	)
 	flag.Parse()
 	if *backends <= 0 {
@@ -64,77 +69,98 @@ func main() {
 	}
 	miner := mining.Mine(tr, mining.DefaultOptions())
 	files := site.FileTable()
-	sess := buildSessions(tr, *sessions)
+	scripts := tr.SessionScripts()
+	if len(scripts) > *sessions {
+		scripts = scripts[:*sessions]
+	}
+	nRequests := 0
+	for _, s := range scripts {
+		nRequests += len(s.Reqs)
+	}
 	fmt.Printf("prord-bench: %d backends, %d sessions (%d requests), %d concurrent clients, %dms miss latency\n\n",
-		*backends, len(sess), countRequests(sess), *concurrency, *missMs)
+		*backends, len(scripts), nRequests, *concurrency, *missMs)
+
+	artifact := &metrics.BenchArtifact{
+		Schema: metrics.BenchSchema,
+		Tool:   "prord-bench",
+		Config: benchConfig{
+			Backends:      *backends,
+			Sessions:      len(scripts),
+			Concurrency:   *concurrency,
+			ThinkMS:       int64(*thinkMs),
+			Seed:          *seed,
+			CacheBytes:    *cacheMB << 20,
+			MissLatencyMS: int64(*missMs),
+		},
+		Workload: benchWorkload{
+			Preset:   trace.PresetSynthetic.String(),
+			Requests: nRequests,
+			Sessions: len(scripts),
+			Files:    len(files),
+		},
+	}
 
 	fmt.Printf("%-16s %10s %10s %10s %10s %10s\n",
-		"policy", "req/s", "p50", "p95", "hit rate", "handoffs")
+		"policy", "req/s", "p50", "p90", "hit rate", "handoffs")
 	for _, polName := range strings.Split(*policies, ",") {
 		polName = strings.TrimSpace(polName)
-		r, err := runPolicy(polName, files, miner, sess, *backends, *cacheMB<<20,
+		run, err := runPolicy(polName, files, miner, tr, scripts, *backends, *cacheMB<<20,
 			time.Duration(*missMs)*time.Millisecond, *concurrency,
 			time.Duration(*thinkMs)*time.Millisecond)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("%-16s %10.0f %10v %10v %10.3f %10d\n",
-			polName, r.throughput, r.p50.Round(100*time.Microsecond),
-			r.p95.Round(100*time.Microsecond), r.hitRate, r.handoffs)
+			polName, run.ThroughputRPS,
+			usDur(run.Latency.P50US), usDur(run.Latency.P90US),
+			run.HitRate, run.Handoffs)
+		artifact.Runs = append(artifact.Runs, *run)
 	}
-}
 
-// session is one scripted browsing path: the request URLs in order, with
-// a page flag so the replayer can insert think time between pages.
-type session struct {
-	paths []string
-	page  []bool
-}
-
-// buildSessions converts trace sessions into request scripts.
-func buildSessions(tr *trace.Trace, limit int) []session {
-	byID := tr.Sessions()
-	ids := make([]int, 0, len(byID))
-	for id := range byID {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var out []session
-	for _, id := range ids {
-		if len(out) >= limit {
-			break
+	if *jsonOut != "" {
+		artifact.Stamp(time.Now())
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
 		}
-		var s session
-		for _, idx := range byID[id] {
-			s.paths = append(s.paths, tr.Requests[idx].Path)
-			s.page = append(s.page, !tr.Requests[idx].Embedded)
+		if err := artifact.Encode(f); err != nil {
+			f.Close()
+			fail(err)
 		}
-		if len(s.paths) > 0 {
-			out = append(out, s)
+		if err := f.Close(); err != nil {
+			fail(err)
 		}
+		fmt.Printf("\nartifact written to %s\n", *jsonOut)
 	}
-	return out
 }
 
-func countRequests(sess []session) int {
-	n := 0
-	for _, s := range sess {
-		n += len(s.paths)
-	}
-	return n
+// benchConfig is the artifact's stable configuration echo.
+type benchConfig struct {
+	Backends      int   `json:"backends"`
+	Sessions      int   `json:"sessions"`
+	Concurrency   int   `json:"concurrency"`
+	ThinkMS       int64 `json:"think_ms"`
+	Seed          int64 `json:"seed"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	MissLatencyMS int64 `json:"miss_latency_ms"`
 }
 
-type benchResult struct {
-	throughput float64
-	p50, p95   time.Duration
-	hitRate    float64
-	handoffs   int64
+// benchWorkload describes the replayed sessions.
+type benchWorkload struct {
+	Preset   string `json:"preset"`
+	Requests int    `json:"scheduled_requests"`
+	Sessions int    `json:"sessions"`
+	Files    int    `json:"files"`
+}
+
+func usDur(v int64) time.Duration {
+	return (time.Duration(v) * time.Microsecond).Round(100 * time.Microsecond)
 }
 
 // runPolicy boots a cluster, replays the sessions, and tears it down.
 func runPolicy(polName string, files map[string]int64, miner *mining.Miner,
-	sess []session, nBackends int, cacheBytes int64, missLatency time.Duration,
-	concurrency int, think time.Duration) (*benchResult, error) {
+	tr *trace.Trace, scripts []trace.SessionScript, nBackends int, cacheBytes int64,
+	missLatency time.Duration, concurrency int, think time.Duration) (*metrics.BenchRun, error) {
 
 	var urls []*url.URL
 	var demoBackends []*httpfront.DemoBackend
@@ -175,64 +201,90 @@ func runPolicy(polName string, files map[string]int64, miner *mining.Miner,
 
 	// Replay: workers pull sessions from a channel; each session runs on
 	// its own keep-alive connection.
-	work := make(chan session, len(sess))
-	for _, s := range sess {
+	work := make(chan trace.SessionScript, len(scripts))
+	for _, s := range scripts {
 		work <- s
 	}
 	close(work)
 
-	var mu sync.Mutex
-	var latencies []time.Duration
+	locals := make([]struct {
+		hist   metrics.Histogram
+		errors int64
+	}, concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			l := &locals[w]
 			for s := range work {
 				client := &http.Client{}
-				for i, p := range s.paths {
+				for i, idx := range s.Reqs {
+					req := &tr.Requests[idx]
 					// Users pause before following a link; browsers fire
 					// embedded-object requests immediately.
-					if i > 0 && s.page[i] && think > 0 {
+					if i > 0 && !req.Embedded && think > 0 {
 						time.Sleep(think)
 					}
 					t0 := time.Now()
-					resp, err := client.Get(front.URL + p)
+					resp, err := client.Get(front.URL + req.Path)
 					if err != nil {
+						l.errors++
 						continue
 					}
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					d := time.Since(t0)
-					mu.Lock()
-					latencies = append(latencies, d)
-					mu.Unlock()
+					if resp.StatusCode >= 300 {
+						l.errors++
+						continue
+					}
+					l.hist.Observe(time.Since(t0))
 				}
 				client.CloseIdleConnections()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	res := &benchResult{handoffs: dist.Stats().Handoffs}
-	if n := len(latencies); n > 0 {
-		res.throughput = float64(n) / elapsed.Seconds()
-		res.p50 = latencies[n/2]
-		res.p95 = latencies[n*95/100]
+	var hist metrics.Histogram
+	run := &metrics.BenchRun{Name: polName}
+	for i := range locals {
+		hist.Merge(&locals[i].hist)
+		run.Errors += locals[i].errors
 	}
-	var hits, served int64
-	for _, b := range demoBackends {
-		st := b.Stats()
-		hits += st.Hits
-		served += st.Served
+	run.Requests = hist.Count()
+	run.Latency = hist.Summary()
+	if elapsed > 0 {
+		run.ThroughputRPS = metrics.Round(float64(hist.Count())/elapsed.Seconds(), 1)
 	}
-	if served > 0 {
-		res.hitRate = float64(hits) / float64(served)
+
+	st := dist.Stats()
+	run.Handoffs = st.Handoffs
+	run.Prefetches = st.Prefetches
+	if st.Requests > 0 {
+		run.DispatchPerRequest = metrics.Round(float64(st.Dispatches)/float64(st.Requests), 3)
 	}
-	return res, nil
+	run.LoadSkew = metrics.Skew(st.PerBackend)
+	var hits, misses int64
+	for i, b := range demoBackends {
+		bs := b.Stats()
+		hits += bs.Hits
+		misses += bs.Misses
+		sample := metrics.BackendSample{Prefetches: bs.Prefetches}
+		if i < len(st.PerBackend) {
+			sample.Requests = st.PerBackend[i]
+		}
+		if lookups := bs.Hits + bs.Misses; lookups > 0 {
+			sample.HitRate = metrics.Round(float64(bs.Hits)/float64(lookups), 3)
+		}
+		run.Backends = append(run.Backends, sample)
+	}
+	if lookups := hits + misses; lookups > 0 {
+		run.HitRate = metrics.Round(float64(hits)/float64(lookups), 3)
+	}
+	return run, nil
 }
 
 func fail(err error) {

@@ -78,16 +78,22 @@ func main() {
 	}
 	files := site.FileTable()
 
-	// Start the backend servers on ephemeral ports.
+	// Start the backend servers on ephemeral ports. Each backend exposes
+	// its own counters on /_prord/stats next to the content it serves.
 	var urls []*url.URL
+	var demos []*httpfront.DemoBackend
 	for i := 0; i < *backends; i++ {
 		b := httpfront.NewDemoBackend(fmt.Sprintf("backend-%d", i), files,
 			*cacheMB<<20, time.Duration(*missMs)*time.Millisecond)
+		demos = append(demos, b)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fail(err)
 		}
-		srv := &http.Server{Handler: b}
+		bmux := http.NewServeMux()
+		bmux.Handle("/_prord/stats", b.StatsHandler())
+		bmux.Handle("/", b)
+		srv := &http.Server{Handler: bmux}
 		go func() {
 			if err := srv.Serve(ln); err != http.ErrServerClosed {
 				fail(err)
@@ -118,6 +124,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/_prord/stats", httpfront.StatsHandler(dist))
+	mux.Handle("/_prord/cluster", httpfront.ClusterStatsHandler(dist, demos))
 	mux.Handle("/", dist)
 
 	fmt.Printf("prord-server: %s policy, %d backends, site %s (%d files)\n",

@@ -1,6 +1,7 @@
 package httpfront
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -136,10 +137,41 @@ func contentType(path string) string {
 // StatsHandler serves a distributor's counters as JSON; mount it on an
 // operations endpoint.
 func StatsHandler(d *Distributor) http.Handler {
+	return jsonHandler(func() any { return d.Stats() })
+}
+
+// StatsHandler serves the backend's own counters as JSON; mount it on
+// the backend's operations endpoint so the front-end (or a load
+// generator) can scrape per-backend cache behaviour.
+func (b *DemoBackend) StatsHandler() http.Handler {
+	return jsonHandler(func() any { return b.Stats() })
+}
+
+// ClusterStatsHandler serves the whole live cluster's state in one
+// document: the distributor's counters plus each demo backend's, in
+// backend order.
+func ClusterStatsHandler(d *Distributor, backends []*DemoBackend) http.Handler {
+	type payload struct {
+		Distributor Stats       `json:"distributor"`
+		Backends    []DemoStats `json:"backends"`
+	}
+	return jsonHandler(func() any {
+		p := payload{Distributor: d.Stats()}
+		for _, b := range backends {
+			p.Backends = append(p.Backends, b.Stats())
+		}
+		return p
+	})
+}
+
+// jsonHandler wraps a snapshot function as a JSON GET endpoint.
+func jsonHandler(snapshot func() any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s := d.Stats()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"requests":%d,"dispatches":%d,"direct_forwards":%d,"handoffs":%d,"prefetches":%d,"errors":%d}`+"\n",
-			s.Requests, s.Dispatches, s.DirectForwards, s.Handoffs, s.Prefetches, s.Errors)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 }

@@ -18,6 +18,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"time"
 
 	"prord/internal/cache"
 	"prord/internal/mining"
@@ -50,6 +51,27 @@ type Config struct {
 	LocalityEntries int64
 	// MaxSessions bounds tracked client sessions. Default 65536.
 	MaxSessions int
+	// Observe, when non-nil, is called once per proxied demand request
+	// after the response completes, with the routing outcome and the
+	// front-end's service time for the request. It runs on the request
+	// goroutine and so must be fast and safe for concurrent use.
+	// Prefetch hints never trigger it: they are not client-visible.
+	Observe func(Observation)
+}
+
+// Observation is one completed demand request as seen by the front-end:
+// the input to Config.Observe, and the raw material for load-generator
+// and benchmark measurements.
+type Observation struct {
+	// Backend is the backend index that served the request.
+	Backend int
+	// Path is the requested URL path.
+	Path string
+	// Status is the response status code delivered to the client.
+	Status int
+	// Latency is the front-end's service time: routing decision plus
+	// proxied backend round-trip (excludes client network time).
+	Latency time.Duration
 }
 
 // Stats are the distributor's live counters, mirroring the simulator's
@@ -61,6 +83,9 @@ type Stats struct {
 	Handoffs       int64 `json:"handoffs"`
 	Prefetches     int64 `json:"prefetches"`
 	Errors         int64 `json:"errors"`
+	// PerBackend counts demand requests routed to each backend, in
+	// backend order. Prefetch hints are not included.
+	PerBackend []int64 `json:"per_backend"`
 }
 
 // Distributor is the front-end: an http.Handler that proxies each request
@@ -121,6 +146,7 @@ func New(cfg Config) (*Distributor, error) {
 		sessions:   make(map[string]*sessionState),
 		byID:       make(map[int]*sessionState),
 	}
+	d.stats.PerBackend = make([]int64, len(cfg.Backends))
 	for _, u := range cfg.Backends {
 		d.proxies = append(d.proxies, httputil.NewSingleHostReverseProxy(u))
 		// The locality map counts entries, not bytes: every file weighs 1.
@@ -245,6 +271,7 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 	}
 
 	d.loads[dec.Server]++
+	d.stats.PerBackend[dec.Server]++
 	m, ok := d.inflight[path]
 	if !ok {
 		m = make(map[int]int)
@@ -334,12 +361,21 @@ func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
 
 // ServeHTTP implements http.Handler.
 func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	server, jobs := d.route(r.RemoteAddr, r.URL.Path)
 	d.enqueuePrefetch(jobs)
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	rec.Header().Set(BackendHeader, fmt.Sprintf("%d", server))
 	d.proxies[server].ServeHTTP(rec, r)
 	d.done(server, r.URL.Path, rec.status >= http.StatusInternalServerError)
+	if d.cfg.Observe != nil {
+		d.cfg.Observe(Observation{
+			Backend: server,
+			Path:    r.URL.Path,
+			Status:  rec.status,
+			Latency: time.Since(start),
+		})
+	}
 }
 
 // statusRecorder captures the proxied status code.
@@ -379,7 +415,9 @@ func (d *Distributor) prefetchLoop() {
 func (d *Distributor) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	s := d.stats
+	s.PerBackend = append([]int64(nil), d.stats.PerBackend...)
+	return s
 }
 
 // Close stops the background prefetcher. Safe to call concurrently with

@@ -138,3 +138,183 @@ func TestStressConcurrentTrafficWithChurn(t *testing.T) {
 		t.Error("no dispatches recorded")
 	}
 }
+
+// recordingBackend wraps a DemoBackend and tallies what actually arrives
+// on the wire, separating prefetch hints from demand traffic and
+// checking the hint responses are 204 with no body.
+type recordingBackend struct {
+	inner       *DemoBackend
+	demand      atomic.Int64
+	prefetches  atomic.Int64
+	badPrefetch atomic.Int64 // hint responses that had a status != 204 or a body
+}
+
+// bodyCounter counts bytes written through a ResponseWriter.
+type bodyCounter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (b *bodyCounter) WriteHeader(code int) {
+	b.status = code
+	b.ResponseWriter.WriteHeader(code)
+}
+
+func (b *bodyCounter) Write(p []byte) (int, error) {
+	n, err := b.ResponseWriter.Write(p)
+	b.bytes += int64(n)
+	return n, err
+}
+
+func (r *recordingBackend) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Header.Get(PrefetchHeader) == "" {
+		r.demand.Add(1)
+		r.inner.ServeHTTP(w, req)
+		return
+	}
+	r.prefetches.Add(1)
+	bc := &bodyCounter{ResponseWriter: w, status: http.StatusOK}
+	r.inner.ServeHTTP(bc, req)
+	if bc.status != http.StatusNoContent || bc.bytes != 0 {
+		r.badPrefetch.Add(1)
+	}
+}
+
+// TestStressPrefetchHintDelivery floods a PRORD front-end with
+// concurrent sessions and verifies the prefetch-hint path end to end:
+// every hint that reaches a backend was admitted by the front-end
+// exactly once, hints answer 204 without a body, and hinted traffic
+// never leaks into the demand-side accounting (distributor per-backend
+// counts, backend Served counters, Observe callbacks, client latencies).
+func TestStressPrefetchHintDelivery(t *testing.T) {
+	const (
+		nBackends = 3
+		nClients  = 8
+		nLoops    = 40
+	)
+	var recs []*recordingBackend
+	var cfg Config
+	for i := 0; i < nBackends; i++ {
+		r := &recordingBackend{inner: NewDemoBackend("b"+strconv.Itoa(i), testFiles, 1<<20, 0)}
+		recs = append(recs, r)
+		srv := httptest.NewServer(r)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, u)
+	}
+	cfg.Miner = testMiner()
+	cfg.Prefetch = true
+	var observations atomic.Int64
+	cfg.Observe = func(o Observation) {
+		observations.Add(1)
+		if o.Backend < 0 || o.Backend >= nBackends {
+			t.Errorf("observation for backend %d", o.Backend)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(d)
+	t.Cleanup(front.Close)
+
+	// Browsing clients: each session walks pages (triggering navigation
+	// and bundle hints) and their embedded objects.
+	paths := []string{"/a.html", "/a.gif", "/b.html", "/b.gif"}
+	var clients sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < nLoops; i++ {
+				for _, p := range paths {
+					resp, err := client.Get(front.URL + p)
+					if err != nil {
+						t.Errorf("client %d: %v", id, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.Header.Get(PrefetchHeader) != "" {
+						t.Errorf("client %d saw a prefetch-marked response", id)
+					}
+				}
+			}
+		}(c)
+	}
+	clients.Wait()
+
+	// The prefetcher runs behind a queue; wait until the receipt count
+	// holds still before snapshotting, then close the distributor.
+	received := func() int64 {
+		var n int64
+		for _, r := range recs {
+			n += r.prefetches.Load()
+		}
+		return n
+	}
+	last := received()
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		time.Sleep(20 * time.Millisecond)
+		cur := received()
+		if cur == last {
+			break
+		}
+		last = cur
+	}
+	d.Close()
+
+	wantDemand := int64(nClients * nLoops * len(paths))
+	st := d.Stats()
+	if st.Requests != wantDemand {
+		t.Errorf("distributor demand requests = %d, want %d", st.Requests, wantDemand)
+	}
+	if got := observations.Load(); got != wantDemand {
+		t.Errorf("observe callbacks = %d, want %d (prefetches must not trigger them)", got, wantDemand)
+	}
+
+	var demandWire, perBackendSum, served, backendPrefetches int64
+	for i, r := range recs {
+		demandWire += r.demand.Load()
+		if bad := r.badPrefetch.Load(); bad != 0 {
+			t.Errorf("backend %d: %d prefetch responses were not bodyless 204s", i, bad)
+		}
+		// The wire-level view must agree with both sides' accounting:
+		// distributor per-backend routing vs what actually arrived, and
+		// the backend's own receipt counter.
+		if i < len(st.PerBackend) && r.demand.Load() != st.PerBackend[i] {
+			t.Errorf("backend %d: wire demand %d != distributor per-backend %d",
+				i, r.demand.Load(), st.PerBackend[i])
+		}
+		bs := recs[i].inner.Stats()
+		served += bs.Served
+		backendPrefetches += bs.Prefetches
+		if bs.Prefetches != r.prefetches.Load() {
+			t.Errorf("backend %d: counted %d prefetches, wire saw %d", i, bs.Prefetches, r.prefetches.Load())
+		}
+	}
+	for _, n := range st.PerBackend {
+		perBackendSum += n
+	}
+	if demandWire != wantDemand || perBackendSum != wantDemand {
+		t.Errorf("demand on the wire = %d, per-backend sum = %d, want %d", demandWire, perBackendSum, wantDemand)
+	}
+	if served != wantDemand {
+		t.Errorf("backend Served total = %d, want %d (prefetches leaked into demand serving)", served, wantDemand)
+	}
+	// Each admitted hint targets exactly one backend and the queue only
+	// drops (never duplicates): receipts can't exceed admissions.
+	if backendPrefetches == 0 {
+		t.Error("no prefetch hints delivered")
+	}
+	if backendPrefetches > st.Prefetches {
+		t.Errorf("backends received %d prefetches, front-end admitted only %d (duplicated hints)",
+			backendPrefetches, st.Prefetches)
+	}
+}

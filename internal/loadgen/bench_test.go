@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"prord/internal/trace"
+)
+
+// benchPolicy drives one live cluster per iteration; the reported req/s
+// metric is the interesting number, the ns/op mostly reflects the
+// configured run duration.
+func benchPolicy(b *testing.B, mode Mode, pol string) {
+	cfg := Config{
+		Mode:        mode,
+		Policies:    []string{pol},
+		Backends:    2,
+		Rate:        600,
+		Workers:     8,
+		Sessions:    60,
+		Concurrency: 12,
+		Think:       time.Millisecond,
+		Duration:    time.Second,
+		Warmup:      200 * time.Millisecond,
+		Seed:        1,
+		Preset:      trace.PresetSynthetic,
+		Scale:       0.05,
+		CacheBytes:  1 << 20,
+		MissLatency: 2 * time.Millisecond,
+	}
+	h, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := h.Run(pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(run.ThroughputRPS, "req/s")
+	}
+}
+
+func BenchmarkOpenLoopWRR(b *testing.B)     { benchPolicy(b, OpenLoop, "WRR") }
+func BenchmarkOpenLoopPRORD(b *testing.B)   { benchPolicy(b, OpenLoop, "PRORD") }
+func BenchmarkClosedLoopPRORD(b *testing.B) { benchPolicy(b, ClosedLoop, "PRORD") }

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"time"
+
+	"prord/internal/httpfront"
+	"prord/internal/metrics"
+	"prord/internal/policy"
+)
+
+// observer aggregates the distributor's per-request observations: the
+// front-end's own service time for every demand request, including
+// warmup (the callback has no way to know the measurement window).
+type observer struct {
+	mu    sync.Mutex
+	front metrics.Histogram
+}
+
+func (o *observer) observe(obs httpfront.Observation) {
+	o.mu.Lock()
+	o.front.Observe(obs.Latency)
+	o.mu.Unlock()
+}
+
+func (o *observer) summary() metrics.LatencySummary {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.front.Summary()
+}
+
+// liveCluster is one booted policy-under-test: demo backends on real
+// listeners behind the distributor, plus the front-end test server the
+// workers talk to.
+type liveCluster struct {
+	demos   []*httpfront.DemoBackend
+	servers []*httptest.Server
+	dist    *httpfront.Distributor
+	front   *httptest.Server
+	obs     *observer
+}
+
+// startCluster boots backends and the front-end for one policy. The
+// mined model (and prefetching) is wired in only for PRORD, mirroring
+// the simulator's feature gating: baselines route on policy state alone.
+func (h *Harness) startCluster(polName string) (*liveCluster, error) {
+	c := &liveCluster{obs: &observer{}}
+	ok := false
+	defer func() {
+		if !ok {
+			c.close()
+		}
+	}()
+	var urls []*url.URL
+	for i := 0; i < h.cfg.Backends; i++ {
+		b := httpfront.NewDemoBackend(fmt.Sprintf("b%d", i), h.files, h.cfg.CacheBytes, h.cfg.MissLatency)
+		c.demos = append(c.demos, b)
+		srv := httptest.NewServer(b)
+		c.servers = append(c.servers, srv)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			return nil, err
+		}
+		urls = append(urls, u)
+	}
+	pol, err := policy.ByName(polName, h.cfg.Backends, policy.Thresholds{})
+	if err != nil {
+		return nil, err
+	}
+	cfg := httpfront.Config{
+		Backends: urls,
+		Policy:   pol,
+		Observe:  c.obs.observe,
+	}
+	if polName == "PRORD" {
+		cfg.Miner = h.freshMiner()
+		cfg.Prefetch = true
+	}
+	c.dist, err = httpfront.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.front = httptest.NewServer(c.dist)
+	ok = true
+	return c, nil
+}
+
+// drainPrefetches waits for the background prefetcher to go quiet: the
+// backends' received-prefetch total must hold steady for one settle
+// interval (or the deadline expires). Called before snapshotting stats
+// so in-flight hints do not skew the cache numbers.
+func (c *liveCluster) drainPrefetches(timeout time.Duration) {
+	const settle = 50 * time.Millisecond
+	deadline := time.Now().Add(timeout)
+	last := c.prefetchCount()
+	for time.Now().Before(deadline) {
+		time.Sleep(settle)
+		cur := c.prefetchCount()
+		if cur == last {
+			return
+		}
+		last = cur
+	}
+}
+
+func (c *liveCluster) prefetchCount() int64 {
+	var n int64
+	for _, b := range c.demos {
+		n += b.Stats().Prefetches
+	}
+	return n
+}
+
+// close tears the cluster down in reverse boot order. Safe on a
+// partially built cluster.
+func (c *liveCluster) close() {
+	if c.front != nil {
+		c.front.Close()
+	}
+	if c.dist != nil {
+		c.dist.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"prord/internal/metrics"
+)
+
+// Result is one campaign's outcome: the effective configuration, the
+// deterministic workload description and one BenchRun per policy.
+type Result struct {
+	Config   Config
+	Workload Workload
+	Runs     []metrics.BenchRun
+}
+
+// configJSON is the artifact's stable echo of the configuration: fixed
+// field order, durations as integer milliseconds.
+type configJSON struct {
+	Mode          string   `json:"mode"`
+	Policies      []string `json:"policies"`
+	Backends      int      `json:"backends"`
+	RateRPS       float64  `json:"rate_rps,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	Sessions      int      `json:"sessions,omitempty"`
+	Concurrency   int      `json:"concurrency,omitempty"`
+	ThinkMS       int64    `json:"think_ms,omitempty"`
+	DurationMS    int64    `json:"duration_ms"`
+	WarmupMS      int64    `json:"warmup_ms"`
+	Seed          int64    `json:"seed"`
+	Preset        string   `json:"preset"`
+	Scale         float64  `json:"scale"`
+	TrainFraction float64  `json:"train_fraction"`
+	CacheBytes    int64    `json:"cache_bytes"`
+	MissLatencyMS int64    `json:"miss_latency_ms"`
+	CompareSim    bool     `json:"compare_sim"`
+}
+
+// Artifact assembles the versioned machine-readable artifact. Stamp and
+// Encode it to produce BENCH_loadgen.json. With the same seed and
+// configuration, every field except generated_at and the genuinely
+// measured live quantities (latency summaries, hit rates, prefetch and
+// handoff counts) is byte-identical across runs; the config, workload
+// and sim blocks are always byte-identical.
+func (r *Result) Artifact() *metrics.BenchArtifact {
+	cfg := configJSON{
+		Mode:          r.Config.Mode.String(),
+		Policies:      r.Config.Policies,
+		Backends:      r.Config.Backends,
+		DurationMS:    r.Config.Duration.Milliseconds(),
+		WarmupMS:      r.Config.Warmup.Milliseconds(),
+		Seed:          r.Config.Seed,
+		Preset:        r.Config.Preset.String(),
+		Scale:         r.Config.Scale,
+		TrainFraction: r.Config.TrainFraction,
+		CacheBytes:    r.Config.CacheBytes,
+		MissLatencyMS: r.Config.MissLatency.Milliseconds(),
+		CompareSim:    r.Config.CompareSim,
+	}
+	switch r.Config.Mode {
+	case OpenLoop:
+		cfg.RateRPS = r.Config.Rate
+		cfg.Workers = r.Config.Workers
+	case ClosedLoop:
+		cfg.Sessions = r.Config.Sessions
+		cfg.Concurrency = r.Config.Concurrency
+		cfg.ThinkMS = r.Config.Think.Milliseconds()
+	}
+	return &metrics.BenchArtifact{
+		Schema:   metrics.BenchSchema,
+		Tool:     "prord-loadgen",
+		Config:   cfg,
+		Workload: r.Workload,
+		Runs:     r.Runs,
+	}
+}
+
+// WriteTable renders the campaign as a human-readable table.
+func (r *Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"prord-loadgen: mode=%s %d backends, %d scheduled requests (%s), warmup %v of %v\n\n",
+		r.Config.Mode, r.Config.Backends, r.Workload.Scheduled, r.Workload.Preset,
+		r.Config.Warmup, r.Config.Duration); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %9s %9s %9s %9s %7s %6s %9s %7s\n",
+		"policy", "req/s", "p50", "p90", "p99", "hit", "skew", "disp/req", "errors"); err != nil {
+		return err
+	}
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		if _, err := fmt.Fprintf(w, "%-16s %9.1f %9v %9v %9v %7.3f %6.2f %9.3f %7d\n",
+			run.Name, run.ThroughputRPS,
+			us(run.Latency.P50US), us(run.Latency.P90US), us(run.Latency.P99US),
+			run.HitRate, run.LoadSkew, run.DispatchPerRequest, run.Errors); err != nil {
+			return err
+		}
+		if run.Sim != nil {
+			if _, err := fmt.Fprintf(w, "%-16s %9.1f %27s mean Δ %+.1f%%  thr Δ %+.1f%%  hit %.3f\n",
+				"  vs sim", run.Sim.ThroughputRPS, "",
+				run.Sim.MeanLatencyDeltaPct, run.Sim.ThroughputDeltaPct, run.Sim.HitRate); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// us renders integer microseconds as a rounded duration for the table.
+func us(v int64) time.Duration {
+	return (time.Duration(v) * time.Microsecond).Round(100 * time.Microsecond)
+}

@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"prord/internal/metrics"
+)
+
+// liveStats is what the client workers measure: latency histograms
+// split by warmup vs measurement window, plus error and timing totals.
+type liveStats struct {
+	warm    metrics.Histogram
+	meas    metrics.Histogram
+	errors  int64
+	elapsed time.Duration
+}
+
+// workerLocal is one worker's lock-free accumulator, merged after the
+// run so the hot path never contends.
+type workerLocal struct {
+	warm   metrics.Histogram
+	meas   metrics.Histogram
+	errors int64
+}
+
+// merge folds per-worker accumulators into campaign totals.
+func merge(locals []workerLocal, elapsed time.Duration) *liveStats {
+	out := &liveStats{elapsed: elapsed}
+	for i := range locals {
+		out.warm.Merge(&locals[i].warm)
+		out.meas.Merge(&locals[i].meas)
+		out.errors += locals[i].errors
+	}
+	return out
+}
+
+// fetch issues one GET and fully consumes the response. Transport
+// failures and non-2xx statuses count as errors.
+func fetch(client *http.Client, url string) (time.Duration, error) {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d := time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode >= 300 {
+		return 0, fmt.Errorf("loadgen: GET %s: status %d", url, resp.StatusCode)
+	}
+	return d, nil
+}
+
+// runOpen replays the precomputed open-loop schedule: each worker walks
+// its own arrival list, sleeping until each request's absolute due time
+// and issuing it regardless of earlier completions (catching up without
+// skipping when it falls behind, so the issued count stays
+// deterministic). Warmup classification uses the scheduled arrival
+// offset, not the wall clock, so the warm/measured split is identical
+// across runs.
+func (h *Harness) runOpen(frontURL string) *liveStats {
+	locals := make([]workerLocal, len(h.open))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range h.open {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			l := &locals[w]
+			for _, a := range h.open[w] {
+				if d := time.Until(start.Add(a.at)); d > 0 {
+					time.Sleep(d)
+				}
+				lat, err := fetch(client, frontURL+h.eval.Requests[a.idx].Path)
+				if err != nil {
+					l.errors++
+					continue
+				}
+				if a.at < h.cfg.Warmup {
+					l.warm.Observe(lat)
+				} else {
+					l.meas.Observe(lat)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return merge(locals, time.Since(start))
+}
+
+// runClosed replays session scripts with cfg.Concurrency clients.
+// Scripts are assigned round-robin by index so the partition is
+// deterministic; each session runs on its own keep-alive connection
+// (sessions are what the distributor tracks by connection), pausing
+// Think before each page request. Issuing stops at the Duration
+// deadline; in-flight requests are allowed to finish.
+func (h *Harness) runClosed(frontURL string) *liveStats {
+	locals := make([]workerLocal, h.cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(h.cfg.Duration)
+	warmEnd := start.Add(h.cfg.Warmup)
+	for w := 0; w < h.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := &locals[w]
+			for s := w; s < len(h.scripts); s += h.cfg.Concurrency {
+				if !time.Now().Before(deadline) {
+					return
+				}
+				client := &http.Client{}
+				for i, idx := range h.scripts[s].Reqs {
+					req := &h.eval.Requests[idx]
+					// Users pause before following a link; embedded
+					// objects are fetched immediately with the page.
+					if i > 0 && !req.Embedded && h.cfg.Think > 0 {
+						time.Sleep(h.cfg.Think)
+					}
+					if !time.Now().Before(deadline) {
+						break
+					}
+					t0 := time.Now()
+					lat, err := fetch(client, frontURL+req.Path)
+					if err != nil {
+						l.errors++
+						continue
+					}
+					if t0.Before(warmEnd) {
+						l.warm.Observe(lat)
+					} else {
+						l.meas.Observe(lat)
+					}
+				}
+				client.CloseIdleConnections()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return merge(locals, time.Since(start))
+}
+
+// Run benchmarks one policy: boots a fresh live cluster, replays the
+// harness's schedule against it, and reduces the measurements to a
+// BenchRun. When cfg.CompareSim is set the same workload is also played
+// through the discrete-event simulator and the deltas attached.
+func (h *Harness) Run(polName string) (*metrics.BenchRun, error) {
+	polName, err := CanonicalPolicy(polName)
+	if err != nil {
+		return nil, err
+	}
+	c, err := h.startCluster(polName)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+
+	var live *liveStats
+	switch h.cfg.Mode {
+	case OpenLoop:
+		live = h.runOpen(c.front.URL)
+	case ClosedLoop:
+		live = h.runClosed(c.front.URL)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %d", int(h.cfg.Mode))
+	}
+	c.drainPrefetches(time.Second)
+
+	run := h.reduce(polName, c, live)
+	if h.cfg.CompareSim {
+		sim, err := h.simCompare(polName, run)
+		if err != nil {
+			return nil, err
+		}
+		run.Sim = sim
+	}
+	return run, nil
+}
+
+// reduce folds the live cluster's counters and the workers' histograms
+// into one artifact cell.
+func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metrics.BenchRun {
+	run := &metrics.BenchRun{
+		Name:           polName,
+		Requests:       live.meas.Count(),
+		WarmupRequests: live.warm.Count(),
+		Errors:         live.errors,
+		Latency:        live.meas.Summary(),
+	}
+	front := c.obs.summary()
+	run.FrontLatency = &front
+
+	// Open loop offers a schedule spanning exactly Duration, so the
+	// nominal measurement window keeps throughput deterministic for
+	// error-free runs; closed loop finishes when its sessions do.
+	window := h.cfg.Duration - h.cfg.Warmup
+	if h.cfg.Mode == ClosedLoop {
+		window = live.elapsed - h.cfg.Warmup
+	}
+	if window > 0 {
+		run.ThroughputRPS = metrics.Round(float64(run.Requests)/window.Seconds(), 1)
+	}
+
+	st := c.dist.Stats()
+	run.Handoffs = st.Handoffs
+	run.Prefetches = st.Prefetches
+	if st.Requests > 0 {
+		run.DispatchPerRequest = metrics.Round(float64(st.Dispatches)/float64(st.Requests), 3)
+	}
+	run.LoadSkew = metrics.Skew(st.PerBackend)
+
+	var hits, misses int64
+	for i, b := range c.demos {
+		bs := b.Stats()
+		hits += bs.Hits
+		misses += bs.Misses
+		sample := metrics.BackendSample{Prefetches: bs.Prefetches}
+		if i < len(st.PerBackend) {
+			sample.Requests = st.PerBackend[i]
+		}
+		if lookups := bs.Hits + bs.Misses; lookups > 0 {
+			sample.HitRate = metrics.Round(float64(bs.Hits)/float64(lookups), 3)
+		}
+		run.Backends = append(run.Backends, sample)
+	}
+	if lookups := hits + misses; lookups > 0 {
+		run.HitRate = metrics.Round(float64(hits)/float64(lookups), 3)
+	}
+	return run
+}
+
+// RunAll benchmarks every configured policy in order and assembles the
+// campaign result.
+func (h *Harness) RunAll() (*Result, error) {
+	res := &Result{Config: h.cfg, Workload: h.Workload()}
+	for _, pol := range h.cfg.Policies {
+		run, err := h.Run(pol)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, *run)
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"prord/internal/mining"
+	"prord/internal/randutil"
+	"prord/internal/trace"
+)
+
+// arrival is one scheduled open-loop request: an offset from the run
+// start and an index into the eval trace's request slice (which supplies
+// the path, size and embedded/parent structure).
+type arrival struct {
+	at  time.Duration
+	idx int
+}
+
+// Harness owns one campaign's deterministic workload: the generated
+// site, the mined navigation model and the precomputed replay schedule.
+// Build it once with New, then Run each policy against it.
+type Harness struct {
+	cfg   Config
+	files map[string]int64
+	train *trace.Trace
+	eval  *trace.Trace
+
+	// open holds per-worker arrival schedules (open mode only).
+	open [][]arrival
+	// scripts are the replayed sessions in deterministic order (closed
+	// mode only).
+	scripts []trace.SessionScript
+
+	scheduled int
+	digest    string
+}
+
+// Workload describes the deterministic request schedule a harness
+// replays; it is embedded in the artifact so runs can be compared across
+// machines. Every field is a pure function of the configuration.
+type Workload struct {
+	Preset        string  `json:"preset"`
+	Scale         float64 `json:"scale"`
+	Seed          int64   `json:"seed"`
+	TraceRequests int     `json:"trace_requests"`
+	TrainRequests int     `json:"train_requests"`
+	EvalRequests  int     `json:"eval_requests"`
+	Files         int     `json:"files"`
+	// Scheduled counts the requests the generator will issue: the full
+	// open-loop schedule, or the replayed sessions' request total
+	// (closed-loop replay may issue fewer if the deadline cuts it off).
+	Scheduled int `json:"scheduled_requests"`
+	// Sessions is the number of replayed sessions (closed mode) or
+	// open-loop worker connections.
+	Sessions int `json:"sessions"`
+	// Digest fingerprints the schedule (FNV-64a over arrival times and
+	// paths); equal digests mean byte-identical offered workloads.
+	Digest string `json:"schedule_digest"`
+}
+
+// New builds a harness: applies defaults, validates, generates the
+// preset workload, mines the training prefix and precomputes the replay
+// schedule. Everything here is deterministic given cfg.Seed.
+func New(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, p := range cfg.Policies {
+		canon, err := CanonicalPolicy(p)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policies[i] = canon
+	}
+
+	site, tr, err := trace.GeneratePreset(cfg.Preset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, eval := tr.Split(cfg.TrainFraction)
+	if len(eval.Requests) == 0 {
+		return nil, fmt.Errorf("loadgen: eval split is empty (trace %d requests, train fraction %v)",
+			len(tr.Requests), cfg.TrainFraction)
+	}
+	h := &Harness{
+		cfg:   cfg,
+		files: site.FileTable(),
+		train: train,
+		eval:  eval,
+	}
+	switch cfg.Mode {
+	case OpenLoop:
+		h.open = openSchedule(cfg, len(eval.Requests))
+		for _, s := range h.open {
+			h.scheduled += len(s)
+		}
+	case ClosedLoop:
+		h.scripts = eval.SessionScripts()
+		if len(h.scripts) > cfg.Sessions {
+			h.scripts = h.scripts[:cfg.Sessions]
+		}
+		for _, s := range h.scripts {
+			h.scheduled += len(s.Reqs)
+		}
+	}
+	h.digest = h.computeDigest()
+	return h, nil
+}
+
+// Config returns the effective (defaulted, canonicalized) configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// freshMiner mines the training prefix anew. Mining is deterministic,
+// but the front-end's and the simulator's navigation trackers learn
+// online and mutate their model, so every consumer gets its own pristine
+// copy — otherwise one run's (timing-dependent) updates would leak into
+// the next run's supposedly deterministic simulation.
+func (h *Harness) freshMiner() *mining.Miner {
+	return mining.Mine(h.train, mining.DefaultOptions())
+}
+
+// Workload describes the harness's deterministic schedule.
+func (h *Harness) Workload() Workload {
+	w := Workload{
+		Preset:        h.cfg.Preset.String(),
+		Scale:         h.cfg.Scale,
+		Seed:          h.cfg.Seed,
+		TraceRequests: len(h.train.Requests) + len(h.eval.Requests),
+		TrainRequests: len(h.train.Requests),
+		EvalRequests:  len(h.eval.Requests),
+		Files:         len(h.files),
+		Scheduled:     h.scheduled,
+		Digest:        h.digest,
+	}
+	if h.cfg.Mode == OpenLoop {
+		w.Sessions = len(h.open)
+	} else {
+		w.Sessions = len(h.scripts)
+	}
+	return w
+}
+
+// openSchedule precomputes per-worker Poisson arrival schedules spanning
+// cfg.Duration. The root source splits once per worker in index order,
+// so worker k's stream — and therefore the whole offered workload — is a
+// deterministic function of the seed alone. Request paths are drawn by
+// sampling eval request indices uniformly, which reproduces the trace's
+// empirical popularity distribution.
+func openSchedule(cfg Config, evalLen int) [][]arrival {
+	root := randutil.New(cfg.Seed)
+	srcs := make([]*randutil.Source, cfg.Workers)
+	for i := range srcs {
+		srcs[i] = root.Split()
+	}
+	// Each worker carries 1/Workers of the aggregate rate.
+	meanGap := float64(time.Second) * float64(cfg.Workers) / cfg.Rate
+	scheds := make([][]arrival, cfg.Workers)
+	for w, src := range srcs {
+		at := time.Duration(src.Exp(meanGap))
+		for at < cfg.Duration {
+			scheds[w] = append(scheds[w], arrival{at: at, idx: src.Intn(evalLen)})
+			at += time.Duration(src.Exp(meanGap))
+		}
+	}
+	return scheds
+}
+
+// computeDigest fingerprints the offered workload with FNV-64a: mode,
+// then every scheduled request's timing and path in issue order. Two
+// harnesses with equal digests offer byte-identical request streams.
+func (h *Harness) computeDigest() string {
+	fn := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		fn.Write(buf[:])
+	}
+	io.WriteString(fn, h.cfg.Mode.String())
+	switch h.cfg.Mode {
+	case OpenLoop:
+		for w, sched := range h.open {
+			writeInt(int64(w))
+			for _, a := range sched {
+				writeInt(int64(a.at))
+				io.WriteString(fn, h.eval.Requests[a.idx].Path)
+			}
+		}
+	case ClosedLoop:
+		for _, s := range h.scripts {
+			writeInt(int64(s.ID))
+			writeInt(int64(s.Start))
+			for _, idx := range s.Reqs {
+				io.WriteString(fn, h.eval.Requests[idx].Path)
+			}
+		}
+	}
+	return fmt.Sprintf("fnv64a:%016x", fn.Sum64())
+}

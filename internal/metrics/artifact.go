@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// BenchSchema versions the benchmark artifact layout shared by
+// prord-bench and prord-loadgen (BENCH_*.json). Bump it whenever a field
+// is renamed, removed or changes meaning; adding fields is
+// backward-compatible and keeps the version.
+const BenchSchema = "prord-bench/1"
+
+// LatencySummary is a latency histogram reduced to the quantities the
+// artifacts report. All durations are integer microseconds so the JSON
+// encoding is stable across platforms and runs.
+type LatencySummary struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	MinUS  int64 `json:"min_us"`
+	MaxUS  int64 `json:"max_us"`
+	P50US  int64 `json:"p50_us"`
+	P90US  int64 `json:"p90_us"`
+	P99US  int64 `json:"p99_us"`
+}
+
+// Summary reduces the histogram to its artifact form.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Microseconds(),
+		MinUS:  h.Min().Microseconds(),
+		MaxUS:  h.Max().Microseconds(),
+		P50US:  h.Quantile(0.5).Microseconds(),
+		P90US:  h.Quantile(0.9).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+	}
+}
+
+// BackendSample is one backend's share of a benchmark run.
+type BackendSample struct {
+	// Requests counts demand requests routed to the backend.
+	Requests int64 `json:"requests"`
+	// Prefetches counts prefetch hints the backend received.
+	Prefetches int64 `json:"prefetches"`
+	// HitRate is the backend's memory hit fraction over demand requests.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// SimComparison is the live-vs-simulated delta block of a run: the same
+// trace and policy executed on the discrete-event cluster model, and the
+// relative differences of the headline metrics.
+type SimComparison struct {
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanUS        int64   `json:"mean_us"`
+	HitRate       float64 `json:"hit_rate"`
+	// ThroughputDeltaPct is 100*(live-sim)/sim for throughput.
+	ThroughputDeltaPct float64 `json:"throughput_delta_pct"`
+	// MeanLatencyDeltaPct is 100*(live-sim)/sim for mean latency.
+	MeanLatencyDeltaPct float64 `json:"mean_latency_delta_pct"`
+}
+
+// BenchRun is one measured cell of a benchmark artifact (one policy on
+// one workload).
+type BenchRun struct {
+	// Name identifies the cell, conventionally the policy name.
+	Name string `json:"name"`
+	// Requests counts completed demand requests in the measurement
+	// window (warmup excluded).
+	Requests int64 `json:"requests"`
+	// WarmupRequests counts completions excluded as warmup.
+	WarmupRequests int64 `json:"warmup_requests,omitempty"`
+	// Errors counts transport failures and 5xx responses.
+	Errors int64 `json:"errors"`
+	// ThroughputRPS is completed requests per second of measurement.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarizes client-visible response times (measurement
+	// window only).
+	Latency LatencySummary `json:"latency"`
+	// FrontLatency summarizes the front-end's own service time per
+	// request (routing + proxied backend round-trip, whole run) when the
+	// producing tool observes it.
+	FrontLatency *LatencySummary `json:"front_latency,omitempty"`
+	// HitRate is the aggregate backend memory hit fraction.
+	HitRate float64 `json:"hit_rate"`
+	// DispatchPerRequest is dispatcher consultations per demand request
+	// (Fig. 6's metric).
+	DispatchPerRequest float64 `json:"dispatch_per_request"`
+	// Handoffs counts connection handoffs at the front-end.
+	Handoffs int64 `json:"handoffs"`
+	// Prefetches counts prefetch hints issued by the front-end.
+	Prefetches int64 `json:"prefetches,omitempty"`
+	// Backends holds per-backend request counts and hit rates in backend
+	// order.
+	Backends []BackendSample `json:"backends,omitempty"`
+	// LoadSkew is max/mean of per-backend demand request counts (1.0 =
+	// perfectly balanced).
+	LoadSkew float64 `json:"load_skew,omitempty"`
+	// Sim holds the live-vs-sim comparison when the simulator was run.
+	Sim *SimComparison `json:"sim,omitempty"`
+}
+
+// BenchArtifact is the versioned machine-readable result of a benchmark
+// campaign. Two runs with the same seed and configuration encode
+// byte-identically except for GeneratedAt (and any genuinely measured
+// wall-clock quantities the producing tool documents).
+type BenchArtifact struct {
+	Schema string `json:"schema"`
+	// Tool names the producing command ("prord-bench", "prord-loadgen").
+	Tool string `json:"tool"`
+	// GeneratedAt is the single wall-clock timestamp of the artifact
+	// (RFC 3339). It is the only field two identically-seeded runs are
+	// expected to differ in besides measured timings.
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Config echoes the producing tool's effective configuration.
+	Config any `json:"config,omitempty"`
+	// Workload describes the deterministic request schedule (counts,
+	// digest) so artifacts from different machines can be compared.
+	Workload any `json:"workload,omitempty"`
+	Runs     []BenchRun `json:"runs"`
+}
+
+// Stamp sets GeneratedAt from t in the artifact's canonical format.
+func (a *BenchArtifact) Stamp(t time.Time) {
+	a.GeneratedAt = t.UTC().Format(time.RFC3339)
+}
+
+// Encode writes the artifact as stable indented JSON: struct field order
+// is fixed by declaration, map keys are sorted by encoding/json, and all
+// durations are integer microseconds. Callers should round free-form
+// floats with Round before setting them.
+func (a *BenchArtifact) Encode(w io.Writer) error {
+	if a.Schema == "" {
+		a.Schema = BenchSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("metrics: encoding bench artifact: %w", err)
+	}
+	return nil
+}
+
+// Round rounds x to the given number of decimal digits, normalizing the
+// negative-zero representation so encodings stay byte-stable.
+func Round(x float64, digits int) float64 {
+	p := math.Pow(10, float64(digits))
+	r := math.Round(x*p) / p
+	if r == 0 {
+		return 0 // fold -0 into 0
+	}
+	return r
+}
+
+// DeltaPct returns the relative difference 100*(live-sim)/sim rounded to
+// one decimal, or 0 when the baseline is not positive.
+func DeltaPct(live, sim float64) float64 {
+	if sim <= 0 {
+		return 0
+	}
+	return Round(100*(live-sim)/sim, 1)
+}
+
+// Skew returns max/mean over per-backend counts (1.0 = perfectly
+// balanced, 0 with no traffic), rounded to three decimals.
+func Skew(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return Round(float64(max)/mean, 3)
+}

@@ -65,8 +65,11 @@ func (h *Histogram) Min() time.Duration { return h.min }
 // Sum returns the total of all samples.
 func (h *Histogram) Sum() time.Duration { return h.sum }
 
-// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
-// from the bucket boundaries.
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the requested rank and interpolating linearly within it,
+// assuming samples spread uniformly across the bucket. The estimate is
+// clamped to the observed [Min, Max], so single-bucket distributions and
+// the extreme quantiles stay exact at the edges.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
@@ -77,20 +80,35 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(q * float64(h.count))
-	if target >= h.count {
-		return h.max
-	}
-	var cum int64
+	// Fractional rank of the requested quantile among the sorted samples.
+	rank := q * float64(h.count-1)
+	var before float64 // samples in earlier buckets
 	for i, b := range h.buckets {
-		cum += b
-		if cum > target {
-			upper := time.Duration(1<<(uint(i)+1)) * time.Microsecond
-			if upper > h.max {
-				return h.max
-			}
-			return upper
+		if b == 0 {
+			continue
 		}
+		n := float64(b)
+		if rank >= before+n {
+			before += n
+			continue
+		}
+		// Bucket i covers [2^i, 2^(i+1)) µs, except bucket 0 which also
+		// holds the sub-microsecond samples and so starts at 0.
+		lower := time.Duration(0)
+		if i > 0 {
+			lower = time.Duration(1<<uint(i)) * time.Microsecond
+		}
+		upper := time.Duration(1<<(uint(i)+1)) * time.Microsecond
+		// Place the bucket's samples at the centers of n equal sub-ranges.
+		f := (rank - before + 0.5) / n
+		est := lower + time.Duration(f*float64(upper-lower))
+		if est < h.min {
+			est = h.min
+		}
+		if est > h.max {
+			est = h.max
+		}
+		return est
 	}
 	return h.max
 }
