@@ -6,12 +6,14 @@
 #                concurrency stress test and the determinism regressions)
 #   make vet     go vet
 #   make lint    the repo's custom determinism/concurrency analyzers
+#   make race-failover  fault-tolerance stress tests under the race
+#                detector (backend crashes, failover retry, breaker churn)
 #   make bench-smoke  short live-cluster loadgen run over all policies
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint bench-smoke ci
+.PHONY: build test race vet lint race-failover bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +30,14 @@ vet:
 lint:
 	$(GO) run ./cmd/prordlint ./...
 
+# The failover suite repeated under the race detector: backend crashes
+# masked by retry, breaker trips/half-open recovery, and the done()
+# bookkeeping churn test. Already part of `make race`; this target runs
+# it alone, repeated, for hunting flakes in the fault-tolerance path.
+race-failover:
+	$(GO) test -race -count=2 -run 'Failover|Fault|Probe|Churn|Breaker' \
+		./internal/health/ ./internal/httpfront/ ./internal/loadgen/
+
 # A ~30s live benchmark: open-loop load against 2 demo backends for each
 # of the three headline policies, with the simulator comparison attached.
 # Produces BENCH_loadgen.json (CI uploads it as an artifact).
@@ -36,4 +46,4 @@ bench-smoke:
 		-backends 2 -rate 300 -duration 10s -warmup 2s -seed 1 \
 		-scale 0.1 -out BENCH_loadgen.json
 
-ci: build vet lint race
+ci: build vet lint race race-failover

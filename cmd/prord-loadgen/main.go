@@ -11,6 +11,7 @@
 //	prord-loadgen -mode open -policy prord -backends 4 -rate 500 -duration 30s -seed 1
 //	prord-loadgen -mode closed -policy WRR,LARD,PRORD -sessions 300 -concurrency 24
 //	prord-loadgen -mode open -rate 200 -sim=false -out /tmp/bench.json
+//	prord-loadgen -mode open -backends 3 -faults 1@10s:20s -probe-interval 250ms
 //
 // The same seed and flags reproduce the same offered workload
 // byte-for-byte (see the schedule_digest field); only genuinely measured
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"prord/internal/health"
 	"prord/internal/loadgen"
 )
 
@@ -47,6 +49,12 @@ func main() {
 		missMs      = flag.Int("miss-ms", 8, "simulated disk latency per backend miss (ms)")
 		sim         = flag.Bool("sim", true, "run the simulator on the same workload and report deltas")
 		out         = flag.String("out", "BENCH_loadgen.json", "artifact output path (empty to skip)")
+
+		faults        = flag.String("faults", "", "fault schedule: backend@at[:recoverAt],... (e.g. 1@5s:8s,0@3s)")
+		probeInterval = flag.Duration("probe-interval", 0, "front-end active health-probe interval (0 disables)")
+		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: front-end default)")
+		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: front-end default)")
+		retries       = flag.Int("retries", 0, "failover retries per request (0: front-end default of 1, negative disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -75,6 +83,10 @@ func main() {
 	if *missMs < 0 {
 		fail(fmt.Errorf("-miss-ms must not be negative, got %d", *missMs))
 	}
+	faultSched, err := loadgen.ParseFaults(*faults)
+	if err != nil {
+		fail(err)
+	}
 	cfg := loadgen.Config{
 		Mode:          m,
 		Policies:      pols,
@@ -92,6 +104,10 @@ func main() {
 		TrainFraction: *trainFrac,
 		CacheBytes:    *cacheMB << 20,
 		MissLatency:   time.Duration(*missMs) * time.Millisecond,
+		Faults:        faultSched,
+		Health:        health.Config{Threshold: *breakThresh, Backoff: *breakBackoff},
+		ProbeInterval: *probeInterval,
+		FrontRetries:  *retries,
 		CompareSim:    *sim,
 	}
 	h, err := loadgen.New(cfg)

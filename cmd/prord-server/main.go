@@ -9,9 +9,12 @@
 //	prord-server -addr :8080 -backends 4 -policy PRORD
 //	curl -s http://localhost:8080/g0/p0.html -D- -o /dev/null
 //	curl -s http://localhost:8080/_prord/stats
+//	curl -s http://localhost:8080/_prord/cluster   # incl. per-backend health
 //
 // Watch the X-Prord-Backend and X-Prord-Cache response headers to see
-// locality routing and cache warming at work.
+// locality routing and cache warming at work. Backend failures are
+// handled by per-backend circuit breakers with failover retry; tune
+// them with the -breaker-*, -probe-* and -retries flags.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"prord/internal/health"
 	"prord/internal/httpfront"
 	"prord/internal/mining"
 	"prord/internal/policy"
@@ -39,6 +43,13 @@ func main() {
 		missMs   = flag.Int("miss-ms", 10, "simulated disk latency per backend miss (ms)")
 		seed     = flag.Int64("seed", 42, "site generation seed")
 		model    = flag.String("model", "", "load a mined model (logmine -o) instead of mining at startup")
+
+		retries       = flag.Int("retries", 0, "failover retries per request (0: default of 1, negative disables)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "active health-probe interval for tripped backends (0 disables)")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "health-probe request timeout (0: default 1s)")
+		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: default 3)")
+		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: default 500ms)")
+		breakMax      = flag.Duration("breaker-max-backoff", 0, "breaker backoff ceiling under repeated failed trials (0: default 30s)")
 	)
 	flag.Parse()
 	if *backends <= 0 {
@@ -116,6 +127,15 @@ func main() {
 		Policy:   pol,
 		Miner:    miner,
 		Prefetch: *polName == "PRORD",
+		Retries:  *retries,
+		Health: health.Config{
+			Threshold:  *breakThresh,
+			Backoff:    *breakBackoff,
+			MaxBackoff: *breakMax,
+		},
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		ProbeSeed:     *seed,
 	})
 	if err != nil {
 		fail(err)

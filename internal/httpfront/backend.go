@@ -76,6 +76,12 @@ func (b *DemoBackend) ensureResident(path string, size int64) (hit bool) {
 
 // ServeHTTP implements http.Handler.
 func (b *DemoBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(ProbeHeader) != "" {
+		// Health probes just confirm the process answers; no content,
+		// no cache side effects, no stats.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	size, ok := b.files[r.URL.Path]
 	if !ok {
 		http.NotFound(w, r)
@@ -148,15 +154,16 @@ func (b *DemoBackend) StatsHandler() http.Handler {
 }
 
 // ClusterStatsHandler serves the whole live cluster's state in one
-// document: the distributor's counters plus each demo backend's, in
-// backend order.
+// document: the distributor's counters, per-backend health, and each
+// demo backend's counters, in backend order.
 func ClusterStatsHandler(d *Distributor, backends []*DemoBackend) http.Handler {
 	type payload struct {
-		Distributor Stats       `json:"distributor"`
-		Backends    []DemoStats `json:"backends"`
+		Distributor Stats           `json:"distributor"`
+		Health      []BackendHealth `json:"health"`
+		Backends    []DemoStats     `json:"backends"`
 	}
 	return jsonHandler(func() any {
-		p := payload{Distributor: d.Stats()}
+		p := payload{Distributor: d.Stats(), Health: d.Health()}
 		for _, b := range backends {
 			p.Backends = append(p.Backends, b.Stats())
 		}

@@ -13,16 +13,20 @@ package httpfront
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"prord/internal/cache"
+	"prord/internal/health"
 	"prord/internal/mining"
 	"prord/internal/policy"
+	"prord/internal/randutil"
 	"prord/internal/trace"
 )
 
@@ -32,6 +36,10 @@ const PrefetchHeader = "X-Prord-Prefetch"
 
 // BackendHeader reports which backend served a proxied response.
 const BackendHeader = "X-Prord-Backend"
+
+// ProbeHeader marks a front-end health probe; backends should answer
+// cheaply and without side effects when they see it.
+const ProbeHeader = "X-Prord-Probe"
 
 // Config assembles a Distributor.
 type Config struct {
@@ -57,6 +65,28 @@ type Config struct {
 	// goroutine and so must be fast and safe for concurrent use.
 	// Prefetch hints never trigger it: they are not client-visible.
 	Observe func(Observation)
+	// Health tunes the per-backend circuit breakers. The zero value
+	// selects the health package defaults.
+	Health health.Config
+	// Retries is the per-request failover budget: after a transport
+	// error or 5xx, the request is re-proxied to a different healthy
+	// backend at most this many times. 0 means the default of 1;
+	// negative disables retries. Only idempotent requests (GET, HEAD)
+	// are ever retried.
+	Retries int
+	// ProbeInterval enables active health probes of unhealthy backends
+	// on a seeded-jittered interval. 0 disables probing; breakers then
+	// recover through half-open trial requests alone.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip. Default 1s.
+	ProbeTimeout time.Duration
+	// ProbeSeed seeds the probe-interval jitter. Default 1.
+	ProbeSeed int64
+	// ProbePath is the path probes request. Default "/".
+	ProbePath string
+	// PrefetchTimeout bounds one prefetch-hint round-trip so a hung
+	// backend cannot stall the prefetcher forever. Default 5s.
+	PrefetchTimeout time.Duration
 }
 
 // Observation is one completed demand request as seen by the front-end:
@@ -82,20 +112,43 @@ type Stats struct {
 	DirectForwards int64 `json:"direct_forwards"`
 	Handoffs       int64 `json:"handoffs"`
 	Prefetches     int64 `json:"prefetches"`
-	Errors         int64 `json:"errors"`
-	// PerBackend counts demand requests routed to each backend, in
-	// backend order. Prefetch hints are not included.
+	// Errors counts failed proxied attempts (5xx or transport error),
+	// including ones later masked by a successful failover retry, plus
+	// failed prefetch hints.
+	Errors int64 `json:"errors"`
+	// Failovers counts requests that completed on a different backend
+	// than their first attempt after that attempt failed.
+	Failovers int64 `json:"failovers"`
+	// Retries counts re-proxied attempts made by the failover path.
+	Retries int64 `json:"retries"`
+	// PerBackend counts demand requests routed to each backend
+	// (including failover retries), in backend order. Prefetch hints
+	// are not included.
 	PerBackend []int64 `json:"per_backend"`
+}
+
+// BackendHealth is one backend's health snapshot as exposed on the
+// cluster stats endpoint.
+type BackendHealth struct {
+	Backend             int    `json:"backend"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Successes           int64  `json:"successes"`
+	Failures            int64  `json:"failures"`
+	Trips               int64  `json:"trips"`
+	Probes              int64  `json:"probes"`
 }
 
 // Distributor is the front-end: an http.Handler that proxies each request
 // to a backend chosen by the distribution policy.
 type Distributor struct {
-	cfg      Config
-	proxies  []*httputil.ReverseProxy
-	pol      policy.Policy
-	tracker  *mining.Tracker
-	prefetch chan prefetchJob
+	cfg         Config
+	proxies     []*httputil.ReverseProxy
+	pol         policy.Policy
+	tracker     *mining.Tracker
+	prefetch    chan prefetchJob
+	retries     int
+	probeClient *http.Client
 
 	mu         sync.Mutex
 	loads      []int        // outstanding requests per backend
@@ -106,12 +159,16 @@ type Distributor struct {
 	byID       map[int]*sessionState
 	sessionSeq int
 	stats      Stats
+	breakers   []*health.Breaker // per-backend circuit breakers
+	probes     []int64           // per-backend probe counts
+	probeStop  chan struct{}
 }
 
 type sessionState struct {
 	id       int
 	server   int
 	hasSrv   bool
+	active   int // requests currently in flight for this session
 	lastPage string
 }
 
@@ -137,25 +194,57 @@ func New(cfg Config) (*Distributor, error) {
 	if cfg.Prefetch && cfg.Miner == nil {
 		return nil, fmt.Errorf("httpfront: Prefetch requires a Miner")
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.ProbeSeed == 0 {
+		cfg.ProbeSeed = 1
+	}
+	if cfg.ProbePath == "" {
+		cfg.ProbePath = "/"
+	}
+	if cfg.PrefetchTimeout <= 0 {
+		cfg.PrefetchTimeout = 5 * time.Second
+	}
 	d := &Distributor{
 		cfg:        cfg,
 		pol:        cfg.Policy,
+		retries:    1,
 		loads:      make([]int, len(cfg.Backends)),
 		inflight:   make(map[string]map[int]int),
 		prefetched: make(map[string]map[int]bool),
 		sessions:   make(map[string]*sessionState),
 		byID:       make(map[int]*sessionState),
+		probes:     make([]int64, len(cfg.Backends)),
+	}
+	if cfg.Retries > 0 {
+		d.retries = cfg.Retries
+	} else if cfg.Retries < 0 {
+		d.retries = 0
 	}
 	d.stats.PerBackend = make([]int64, len(cfg.Backends))
 	for _, u := range cfg.Backends {
-		d.proxies = append(d.proxies, httputil.NewSingleHostReverseProxy(u))
+		p := httputil.NewSingleHostReverseProxy(u)
+		// Surface transport-level failures as a bare 502 so the failover
+		// path treats them exactly like a backend 5xx (the default
+		// handler also logs, which is noise under fault injection).
+		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			w.WriteHeader(http.StatusBadGateway)
+		}
+		d.proxies = append(d.proxies, p)
 		// The locality map counts entries, not bytes: every file weighs 1.
 		d.locality = append(d.locality, cache.NewLRU(cfg.LocalityEntries))
+		d.breakers = append(d.breakers, health.NewBreaker(cfg.Health))
 	}
 	if cfg.Miner != nil && cfg.Prefetch {
 		d.tracker = mining.NewTracker(cfg.Miner.Model, true)
 		d.prefetch = make(chan prefetchJob, 256)
 		go d.prefetchLoop()
+	}
+	if cfg.ProbeInterval > 0 {
+		d.probeClient = &http.Client{Timeout: cfg.ProbeTimeout}
+		d.probeStop = make(chan struct{})
+		go health.Probe(cfg.ProbeInterval, randutil.New(cfg.ProbeSeed), d.probeStop, d.probeOnce)
 	}
 	return d, nil
 }
@@ -212,10 +301,7 @@ func (d *Distributor) session(key string) *sessionState {
 	st, ok := d.sessions[key]
 	if !ok {
 		if len(d.sessions) >= d.cfg.MaxSessions {
-			// Simple pressure valve: forget everything. Sessions are
-			// soft state; the only cost is a few extra dispatches.
-			d.sessions = make(map[string]*sessionState)
-			d.byID = make(map[int]*sessionState)
+			d.evictIdleSessions()
 		}
 		d.sessionSeq++
 		st = &sessionState{id: d.sessionSeq}
@@ -223,6 +309,28 @@ func (d *Distributor) session(key string) *sessionState {
 		d.byID[st.id] = st
 	}
 	return st
+}
+
+// evictIdleSessions is the pressure valve behind MaxSessions: it drops
+// every session with no request in flight, releasing the tracker's and
+// the policy's per-connection state for each evicted id so neither goes
+// stale. Sessions mid-request keep their LastServer binding; if every
+// session is busy the table temporarily grows past the bound instead of
+// yanking state out from under in-flight requests. Callers hold d.mu.
+func (d *Distributor) evictIdleSessions() {
+	for key, st := range d.sessions {
+		if st.active > 0 {
+			continue
+		}
+		delete(d.sessions, key)
+		delete(d.byID, st.id)
+		if d.tracker != nil {
+			d.tracker.Close(st.id)
+		}
+		if cc, ok := d.pol.(policy.ConnCloser); ok {
+			cc.ConnClose(st.id)
+		}
+	}
 }
 
 // route performs the Fig. 4 front-end flow for one request and returns
@@ -233,6 +341,7 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
+	now := time.Now()
 	st := d.session(sessionKey)
 	d.stats.Requests++
 
@@ -243,8 +352,17 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 		}
 	}
 
+	// Backends whose breakers are blocked are hidden from the policy. If
+	// every breaker is blocked the front-end fails open and routes
+	// normally: refusing all traffic is worse than trying a suspect.
+	ready := d.readyCount(now)
+	view := policy.View((*lockedView)(d))
+	if ready > 0 && ready < len(d.loads) {
+		view = policy.Restrict(view, func(i int) bool { return !d.breakers[i].Ready(now) })
+	}
+
 	var dec policy.Decision
-	if embedded && st.hasSrv {
+	if embedded && st.hasSrv && (ready == 0 || d.breakers[st.server].Ready(now)) {
 		dec = policy.Decision{Server: st.server, Source: -1}
 	} else {
 		dec = d.pol.Route(policy.Request{
@@ -252,20 +370,30 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 			Path:     path,
 			Embedded: embedded,
 			First:    !st.hasSrv,
-		}, (*lockedView)(d))
+		}, view)
 	}
+	if ready > 0 && !d.breakers[dec.Server].Ready(now) {
+		// A load-blind policy (WRR) named a blocked backend anyway:
+		// re-route to the least-loaded healthy one, exactly as the
+		// simulator's front-end does after a crash.
+		if s, ok := d.leastLoadedReady(dec.Server, now); ok {
+			dec.Server = s
+		}
+	}
+	d.breakers[dec.Server].Begin(now)
 	if dec.Dispatch {
 		d.stats.Dispatches++
 	} else if st.hasSrv {
 		d.stats.DirectForwards++
 	}
+	// Only genuine server switches are handoffs; a session's first
+	// assignment binds the connection without moving it.
 	if st.hasSrv && st.server != dec.Server {
-		d.stats.Handoffs++
-	} else if !st.hasSrv {
 		d.stats.Handoffs++
 	}
 	st.server = dec.Server
 	st.hasSrv = true
+	st.active++
 	if !trace.IsEmbeddedPath(path) {
 		st.lastPage = path
 	}
@@ -319,11 +447,46 @@ func addTo(m map[string]map[int]bool, file string, server int) {
 	set[server] = true
 }
 
-// done releases routing state after the proxied response completes.
-func (d *Distributor) done(server int, path string, failed bool) {
+// readyCount returns how many backends' breakers admit traffic at now.
+// Callers hold d.mu.
+func (d *Distributor) readyCount(now time.Time) int {
+	n := 0
+	for _, b := range d.breakers {
+		if b.Ready(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// leastLoadedReady returns the least-loaded backend whose breaker admits
+// traffic at now, excluding `not` (pass -1 to exclude none). Callers
+// hold d.mu.
+func (d *Distributor) leastLoadedReady(not int, now time.Time) (int, bool) {
+	best, found := -1, false
+	for i := range d.loads {
+		if i == not || !d.breakers[i].Ready(now) {
+			continue
+		}
+		if !found || d.loads[i] < d.loads[best] {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// done releases routing state after one proxied attempt completes and
+// feeds the outcome to the backend's breaker. retried marks a failover
+// retry (not the request's first attempt); a successful retry counts as
+// one completed failover.
+func (d *Distributor) done(sessionKey string, server int, path string, failed, retried bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	now := time.Now()
 	d.loads[server]--
+	if st, ok := d.sessions[sessionKey]; ok && st.active > 0 {
+		st.active--
+	}
 	if m, ok := d.inflight[path]; ok {
 		m[server]--
 		if m[server] <= 0 {
@@ -336,7 +499,80 @@ func (d *Distributor) done(server int, path string, failed bool) {
 	if failed {
 		d.stats.Errors++
 		d.locality[server].Remove(path)
+		if set, ok := d.prefetched[path]; ok {
+			delete(set, server)
+			if len(set) == 0 {
+				delete(d.prefetched, path)
+			}
+		}
+		if d.breakers[server].OnFailure(now) {
+			d.invalidateBackend(server)
+		}
+		return
 	}
+	d.breakers[server].OnSuccess(now)
+	if retried {
+		d.stats.Failovers++
+	}
+}
+
+// invalidateBackend forgets everything optimistic about a backend whose
+// breaker just tripped: its locality map (the process behind it likely
+// lost its memory), its prefetched placements, and every session pinned
+// to it — mirroring the simulator's crash handling, where sticky
+// locality would otherwise keep steering sessions at the corpse.
+// Callers hold d.mu.
+func (d *Distributor) invalidateBackend(server int) {
+	d.locality[server] = cache.NewLRU(d.cfg.LocalityEntries)
+	for file, set := range d.prefetched {
+		delete(set, server)
+		if len(set) == 0 {
+			delete(d.prefetched, file)
+		}
+	}
+	for _, st := range d.sessions {
+		if st.hasSrv && st.server == server {
+			st.hasSrv = false
+		}
+	}
+}
+
+// failover re-books a request whose attempt on `failed` errored: it
+// picks the least-loaded backend admitting traffic, re-pins the session,
+// and registers the retry in the routing state. It reports false when no
+// alternative backend exists (the buffered failure should then be
+// delivered to the client).
+func (d *Distributor) failover(sessionKey, path string, failed int) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	next, ok := d.leastLoadedReady(failed, now)
+	if !ok {
+		return 0, false
+	}
+	d.breakers[next].Begin(now)
+	if st, ok := d.sessions[sessionKey]; ok {
+		st.server = next
+		st.hasSrv = true
+		st.active++
+	}
+	d.loads[next]++
+	d.stats.PerBackend[next]++
+	d.stats.Retries++
+	m, ok := d.inflight[path]
+	if !ok {
+		m = make(map[int]int)
+		d.inflight[path] = m
+	}
+	m[next]++
+	d.locality[next].Insert(path, 1)
+	if set, ok := d.prefetched[path]; ok {
+		delete(set, next)
+		if len(set) == 0 {
+			delete(d.prefetched, path)
+		}
+	}
+	return next, true
 }
 
 // enqueuePrefetch hands jobs to the background prefetcher. The channel
@@ -359,40 +595,154 @@ func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A failed attempt (backend 5xx or
+// transport error, surfaced as 502) on an idempotent request is buffered
+// rather than delivered, the failed backend's state is invalidated, and
+// the request is re-proxied to a healthy backend within the retry
+// budget; the client only sees a failure when every attempt failed.
 func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	server, jobs := d.route(r.RemoteAddr, r.URL.Path)
+	key, path := r.RemoteAddr, r.URL.Path
+	server, jobs := d.route(key, path)
 	d.enqueuePrefetch(jobs)
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	rec.Header().Set(BackendHeader, fmt.Sprintf("%d", server))
-	d.proxies[server].ServeHTTP(rec, r)
-	d.done(server, r.URL.Path, rec.status >= http.StatusInternalServerError)
+	retries := 0
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		retries = d.retries
+	}
+	var rec *statusRecorder
+	for attempt := 0; ; attempt++ {
+		rec = newStatusRecorder(w, attempt < retries)
+		rec.Header().Set(BackendHeader, strconv.Itoa(server))
+		d.proxies[server].ServeHTTP(rec, r)
+		failed := rec.status >= http.StatusInternalServerError
+		d.done(key, server, path, failed, attempt > 0)
+		if !failed || !rec.discarded {
+			break
+		}
+		next, ok := d.failover(key, path, server)
+		if !ok {
+			// No healthy alternative: deliver the buffered failure.
+			rec.release()
+			break
+		}
+		server = next
+	}
 	if d.cfg.Observe != nil {
 		d.cfg.Observe(Observation{
 			Backend: server,
-			Path:    r.URL.Path,
+			Path:    path,
 			Status:  rec.status,
 			Latency: time.Since(start),
 		})
 	}
 }
 
-// statusRecorder captures the proxied status code.
+// statusRecorder buffers the response head so a failed backend attempt
+// can be discarded and the request retried elsewhere without the client
+// seeing the failure. The head commits on the first success status (or
+// implicit 200); after that the body streams straight through.
 type statusRecorder struct {
-	http.ResponseWriter
-	status int
+	dst       http.ResponseWriter
+	header    http.Header
+	retryable bool
+	status    int
+	committed bool
+	discarded bool
+}
+
+func newStatusRecorder(dst http.ResponseWriter, retryable bool) *statusRecorder {
+	return &statusRecorder{dst: dst, header: make(http.Header), status: http.StatusOK, retryable: retryable}
+}
+
+func (s *statusRecorder) Header() http.Header {
+	if s.committed {
+		return s.dst.Header()
+	}
+	return s.header
+}
+
+// commit copies the buffered head to the underlying writer.
+func (s *statusRecorder) commit(code int) {
+	if s.committed || s.discarded {
+		return
+	}
+	dst := s.dst.Header()
+	for k, vv := range s.header {
+		dst[k] = vv
+	}
+	s.status = code
+	s.committed = true
+	s.dst.WriteHeader(code)
 }
 
 func (s *statusRecorder) WriteHeader(code int) {
-	s.status = code
-	s.ResponseWriter.WriteHeader(code)
+	if s.committed || s.discarded {
+		return
+	}
+	if s.retryable && code >= http.StatusInternalServerError {
+		// Swallow the failure: the distributor will retry elsewhere or
+		// release() this recorder if it cannot.
+		s.status = code
+		s.discarded = true
+		return
+	}
+	s.commit(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.discarded {
+		return len(p), nil
+	}
+	if !s.committed {
+		s.commit(http.StatusOK)
+	}
+	return s.dst.Write(p)
+}
+
+// Flush implements http.Flusher so streamed backend responses reach the
+// client incrementally instead of buffering at the front-end.
+func (s *statusRecorder) Flush() {
+	if s.discarded {
+		return
+	}
+	if !s.committed {
+		s.commit(http.StatusOK)
+	}
+	if f, ok := s.dst.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.dst }
+
+// release delivers a swallowed failure after all retry options ran out.
+// The failed body was discarded, so content headers are dropped and a
+// minimal diagnostic body stands in.
+func (s *statusRecorder) release() {
+	if !s.discarded {
+		return
+	}
+	s.discarded = false
+	s.header.Del("Content-Length")
+	s.header.Set("Content-Type", "text/plain; charset=utf-8")
+	code := s.status
+	s.commit(code)
+	io.WriteString(s.dst, http.StatusText(code)+"\n")
 }
 
 // prefetchLoop sends prefetch hints to backends in the background.
 func (d *Distributor) prefetchLoop() {
-	client := &http.Client{}
+	// The timeout keeps one hung backend from stalling the single
+	// prefetch goroutine — and with it all prefetching — forever; an
+	// expired hint is simply dropped.
+	client := &http.Client{Timeout: d.cfg.PrefetchTimeout}
 	for job := range d.prefetch {
+		if d.backendBlocked(job.server) {
+			// Speculative work is shed first under degradation: no
+			// hints to backends with tripped breakers.
+			continue
+		}
 		u := *d.cfg.Backends[job.server]
 		u.Path = job.path
 		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
@@ -411,6 +761,57 @@ func (d *Distributor) prefetchLoop() {
 	}
 }
 
+// backendBlocked reports whether a backend's breaker is not closed.
+func (d *Distributor) backendBlocked(server int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.breakers[server].State() != health.Closed
+}
+
+// probeOnce checks every unhealthy backend once and feeds the results to
+// the breakers. Healthy (closed) backends are never probed: demand
+// traffic already exercises them, and the fault-free path stays
+// byte-for-byte identical with probing on or off.
+func (d *Distributor) probeOnce() {
+	d.mu.Lock()
+	var targets []int
+	for i, b := range d.breakers {
+		if b.State() != health.Closed {
+			targets = append(targets, i)
+		}
+	}
+	d.mu.Unlock()
+	for _, i := range targets {
+		ok := d.probeBackend(i)
+		d.mu.Lock()
+		d.probes[i]++
+		if ok {
+			d.breakers[i].OnSuccess(time.Now())
+		} else {
+			d.breakers[i].OnFailure(time.Now())
+		}
+		d.mu.Unlock()
+	}
+}
+
+// probeBackend issues one health probe and reports reachability.
+func (d *Distributor) probeBackend(i int) bool {
+	u := *d.cfg.Backends[i]
+	u.Path = d.cfg.ProbePath
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(ProbeHeader, "1")
+	resp, err := d.probeClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode < http.StatusInternalServerError
+}
+
 // Stats returns a snapshot of the live counters.
 func (d *Distributor) Stats() Stats {
 	d.mu.Lock()
@@ -420,15 +821,40 @@ func (d *Distributor) Stats() Stats {
 	return s
 }
 
-// Close stops the background prefetcher. Safe to call concurrently with
-// in-flight requests: senders check the channel under the lock, so the
-// close cannot race an enqueue.
+// Health returns per-backend breaker snapshots in backend order.
+func (d *Distributor) Health() []BackendHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]BackendHealth, len(d.breakers))
+	for i, b := range d.breakers {
+		s := b.Snapshot()
+		out[i] = BackendHealth{
+			Backend:             i,
+			State:               s.State.String(),
+			ConsecutiveFailures: s.ConsecutiveFailures,
+			Successes:           s.Successes,
+			Failures:            s.Failures,
+			Trips:               s.Trips,
+			Probes:              d.probes[i],
+		}
+	}
+	return out
+}
+
+// Close stops the background prefetcher and the health prober. Safe to
+// call concurrently with in-flight requests: senders check the channel
+// under the lock, so the close cannot race an enqueue.
 func (d *Distributor) Close() {
 	d.mu.Lock()
 	ch := d.prefetch
 	d.prefetch = nil
+	stop := d.probeStop
+	d.probeStop = nil
 	d.mu.Unlock()
 	if ch != nil {
 		close(ch)
+	}
+	if stop != nil {
+		close(stop)
 	}
 }

@@ -323,15 +323,23 @@ func TestBackendErrorCounted(t *testing.T) {
 	front := httptest.NewServer(d)
 	defer front.Close()
 
-	// First fresh connection lands on backend 0 (the bad one) under WRR.
+	// First fresh connection lands on backend 0 (the bad one) under WRR;
+	// the failover retry must mask the 500 with backend 1's response.
 	c1 := &http.Client{}
 	r1 := get(t, c1, front.URL, "/a.html")
 	c1.CloseIdleConnections()
-	if r1.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("expected the bad backend's 500, got %d", r1.StatusCode)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("failover should mask the 500, got %d", r1.StatusCode)
 	}
-	if d.Stats().Errors == 0 {
-		t.Fatal("the 500 should be counted as an error")
+	if got := r1.Header.Get(BackendHeader); got != "1" {
+		t.Fatalf("retry served by backend %q, want 1", got)
+	}
+	st := d.Stats()
+	if st.Errors == 0 {
+		t.Fatal("the failed attempt should still be counted as an error")
+	}
+	if st.Failovers != 1 || st.Retries != 1 {
+		t.Fatalf("Failovers/Retries = %d/%d, want 1/1", st.Failovers, st.Retries)
 	}
 	// The failed path must not be remembered as resident on backend 0.
 	d.mu.Lock()
@@ -339,6 +347,25 @@ func TestBackendErrorCounted(t *testing.T) {
 	d.mu.Unlock()
 	if resident {
 		t.Fatal("failed response left a stale locality entry")
+	}
+
+	// With retries disabled the failure reaches the client untouched.
+	d2, err := New(Config{
+		Backends: []*url.URL{bURL, hURL},
+		Policy:   policy.NewWRR(2),
+		Retries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	front2 := httptest.NewServer(d2)
+	defer front2.Close()
+	c2 := &http.Client{}
+	r2 := get(t, c2, front2.URL, "/a.html")
+	c2.CloseIdleConnections()
+	if r2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("with Retries=-1 expected the raw 500, got %d", r2.StatusCode)
 	}
 }
 

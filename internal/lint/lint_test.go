@@ -85,6 +85,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "nowallclock", fixture: "nowallclock.go", pkgPath: "prord/internal/sim", analyzers: []*Analyzer{NoWallClock}},
 		{name: "nowallclock-cluster", fixture: "nowallclock.go", pkgPath: "prord/internal/cluster", analyzers: []*Analyzer{NoWallClock}},
 		{name: "nowallclock-exempt-elsewhere", fixture: "nowallclock.go", pkgPath: "prord/internal/httpfront", analyzers: []*Analyzer{NoWallClock}, wantNone: true},
+		{name: "nowallclock-health", fixture: "nowallclock.go", pkgPath: "prord/internal/health", analyzers: []*Analyzer{NoWallClock}},
+		{name: "nowallclock-health-prober-allowed", fixture: "prober.go", pkgPath: "prord/internal/health", analyzers: []*Analyzer{NoWallClock}, wantNone: true},
+		{name: "nowallclock-prober-name-no-allowance-elsewhere", fixture: "prober.go", pkgPath: "prord/internal/sim", analyzers: []*Analyzer{NoWallClock}},
 		{name: "maporder", fixture: "maporder.go", pkgPath: "prord/internal/experiment", analyzers: []*Analyzer{MapOrder}},
 		{name: "mutexhygiene", fixture: "mutexhygiene.go", pkgPath: "prord/internal/httpfront", analyzers: []*Analyzer{MutexHygiene}},
 		{name: "noprint", fixture: "noprint.go", pkgPath: "prord/internal/mining", analyzers: []*Analyzer{NoPrint}},

@@ -2,18 +2,31 @@ package lint
 
 import (
 	"go/ast"
+	"path/filepath"
 	"strings"
 )
 
 // simulatedTimePackages are the package-path suffixes where every clock
 // read must come from the simulated clock: their results are part of the
 // reproducibility contract, and a wall-clock read makes two runs of the
-// same seed diverge.
+// same seed diverge. internal/health is covered too — its circuit
+// breaker takes the current time as an argument so the same transition
+// sequence replays identically under test clocks.
 var simulatedTimePackages = []string{
 	"internal/sim",
 	"internal/cluster",
 	"internal/policy",
 	"internal/replicate",
+	"internal/health",
+}
+
+// wallClockAllowedFiles carves per-file allowances out of covered
+// packages, keyed by package-path suffix then file base name. The health
+// prober is the one legitimate timer user in internal/health: it must
+// wait real time between probes, while its jitter is drawn from a seeded
+// randutil.Source so the schedule stays reproducible.
+var wallClockAllowedFiles = map[string]map[string]bool{
+	"internal/health": {"prober.go": true},
 }
 
 // wallClockFuncs are the time package functions that read or wait on the
@@ -30,16 +43,17 @@ var NoWallClock = &Analyzer{
 	Name: "nowallclock",
 	Doc:  "forbid time.Now/Since/Sleep (and friends) in simulated-time packages",
 	Run: func(pass *Pass) {
-		covered := false
+		covered := ""
 		for _, suffix := range simulatedTimePackages {
 			if strings.HasSuffix(pass.Pkg.Path, suffix) {
-				covered = true
+				covered = suffix
 				break
 			}
 		}
-		if !covered {
+		if covered == "" {
 			return
 		}
+		allowed := wallClockAllowedFiles[covered]
 		pass.walkFiles(func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -49,11 +63,16 @@ var NoWallClock = &Analyzer{
 			if !ok || pkgPath != "time" {
 				return true
 			}
-			if wallClockFuncs[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(),
-					"time.%s reads the wall clock; simulation/policy code must use the simulated clock for replayable results",
-					sel.Sel.Name)
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
 			}
+			file := filepath.Base(pass.Pkg.Fset.Position(sel.Pos()).Filename)
+			if allowed[file] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulation/policy code must use the simulated clock for replayable results",
+				sel.Sel.Name)
 			return true
 		})
 	},

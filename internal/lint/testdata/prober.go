@@ -1,0 +1,25 @@
+package fixture
+
+import "time"
+
+// This fixture is named prober.go on purpose: internal/health carries a
+// per-file wall-clock allowance for its prober (the jittered probe loop
+// must wait real time), so under prord/internal/health nothing below is
+// reported, while any other covered package still flags every call.
+
+func jitteredTimerLoop(stop <-chan struct{}) {
+	t := time.NewTimer(time.Millisecond) // want nowallclock
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			t.Reset(time.Millisecond)
+		}
+	}
+}
+
+func readsClock() time.Time {
+	return time.Now() // want nowallclock
+}

@@ -2,9 +2,12 @@ package loadgen
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prord/internal/httpfront"
@@ -32,11 +35,37 @@ func (o *observer) summary() metrics.LatencySummary {
 	return o.front.Summary()
 }
 
+// gate sits between a backend's listener and the demo handler as the
+// fault schedule's kill switch: while down it answers 503 to
+// everything, like a crashed process behind a still-listening proxy.
+// It counts demand requests that arrive while down — probes and
+// prefetch hints are excluded, because the front-end is allowed (and
+// expected) to probe a dead backend; it must not send it client
+// traffic.
+type gate struct {
+	inner      http.Handler
+	down       atomic.Bool
+	downDemand atomic.Int64
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.down.Load() {
+		if r.Header.Get(httpfront.ProbeHeader) == "" && r.Header.Get(httpfront.PrefetchHeader) == "" {
+			g.downDemand.Add(1)
+		}
+		http.Error(w, "backend killed by fault schedule", http.StatusServiceUnavailable)
+		return
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
 // liveCluster is one booted policy-under-test: demo backends on real
 // listeners behind the distributor, plus the front-end test server the
-// workers talk to.
+// workers talk to. Each backend sits behind a gate so the fault
+// schedule can kill and revive it mid-run.
 type liveCluster struct {
 	demos   []*httpfront.DemoBackend
+	gates   []*gate
 	servers []*httptest.Server
 	dist    *httpfront.Distributor
 	front   *httptest.Server
@@ -58,7 +87,9 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 	for i := 0; i < h.cfg.Backends; i++ {
 		b := httpfront.NewDemoBackend(fmt.Sprintf("b%d", i), h.files, h.cfg.CacheBytes, h.cfg.MissLatency)
 		c.demos = append(c.demos, b)
-		srv := httptest.NewServer(b)
+		g := &gate{inner: b}
+		c.gates = append(c.gates, g)
+		srv := httptest.NewServer(g)
 		c.servers = append(c.servers, srv)
 		u, err := url.Parse(srv.URL)
 		if err != nil {
@@ -71,9 +102,13 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 		return nil, err
 	}
 	cfg := httpfront.Config{
-		Backends: urls,
-		Policy:   pol,
-		Observe:  c.obs.observe,
+		Backends:      urls,
+		Policy:        pol,
+		Observe:       c.obs.observe,
+		Health:        h.cfg.Health,
+		Retries:       h.cfg.FrontRetries,
+		ProbeInterval: h.cfg.ProbeInterval,
+		ProbeSeed:     h.cfg.Seed,
 	}
 	if polName == "PRORD" {
 		cfg.Miner = h.freshMiner()
@@ -86,6 +121,54 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 	c.front = httptest.NewServer(c.dist)
 	ok = true
 	return c, nil
+}
+
+// startFaults launches the fault schedule against the cluster's gates,
+// anchored at start — the same instant the replay workers measure
+// their schedules from. The returned stop function cancels pending
+// events and waits for the runner to exit; with no faults configured
+// it is a no-op.
+func (h *Harness) startFaults(c *liveCluster, start time.Time) (stop func()) {
+	if len(h.cfg.Faults) == 0 {
+		return func() {}
+	}
+	type event struct {
+		at   time.Duration
+		gate *gate
+		down bool
+	}
+	var events []event
+	for _, f := range h.cfg.Faults {
+		g := c.gates[f.Backend]
+		events = append(events, event{at: f.At, gate: g, down: true})
+		if f.RecoverAt > 0 {
+			events = append(events, event{at: f.RecoverAt, gate: g, down: false})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTimer(time.Hour)
+		defer t.Stop()
+		for _, e := range events {
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			t.Reset(time.Until(start.Add(e.at)))
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+			}
+			e.gate.down.Store(e.down)
+		}
+	}()
+	return func() { close(quit); <-done }
 }
 
 // drainPrefetches waits for the background prefetcher to go quiet: the

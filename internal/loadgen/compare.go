@@ -45,11 +45,20 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		feats = cluster.Features{Bundle: true, NavPrefetch: true}
 		miner = h.freshMiner()
 	}
+	// The fault schedule maps one-to-one onto the simulator's fail-stop
+	// crashes. Open mode lines up exactly (sim times are the live
+	// arrival offsets); closed mode is approximate because simTrace
+	// compresses session times onto the measurement window.
+	var fails []cluster.Failure
+	for _, f := range h.cfg.Faults {
+		fails = append(fails, cluster.Failure{Server: f.Backend, At: f.At, RecoverAt: f.RecoverAt})
+	}
 	cl, err := cluster.New(cluster.Config{
 		Params:   params,
 		Policy:   pol,
 		Features: feats,
 		Miner:    miner,
+		Failures: fails,
 	})
 	if err != nil {
 		return nil, err
@@ -62,6 +71,7 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		ThroughputRPS: metrics.Round(res.Throughput, 1),
 		MeanUS:        res.MeanResponse.Microseconds(),
 		HitRate:       metrics.Round(res.HitRate, 3),
+		Failovers:     res.Metrics.Failovers,
 	}
 	sim.ThroughputDeltaPct = metrics.DeltaPct(live.ThroughputRPS, sim.ThroughputRPS)
 	sim.MeanLatencyDeltaPct = metrics.DeltaPct(float64(live.Latency.MeanUS), float64(sim.MeanUS))

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault schedules one fail-stop backend outage during a live run,
+// mirroring the simulator's cluster.Failure: backend Backend stops
+// answering at offset At (every request gets 503 until recovery) and,
+// when RecoverAt is nonzero, comes back with a cold cache at RecoverAt.
+// Offsets are measured from the run start — the same clock the
+// open-loop arrival schedule uses, so "kill backend 1 at 5s" lines up
+// with the offered workload. Closed-loop replay is completion-paced and
+// its sim comparison compresses session times onto the measurement
+// window, so fault offsets there are approximate in the simulator.
+type Fault struct {
+	// Backend is the index of the backend to kill.
+	Backend int
+	// At is the outage start, as an offset from run start.
+	At time.Duration
+	// RecoverAt is the recovery time; zero means the backend stays down
+	// for the rest of the run. Must exceed At when set.
+	RecoverAt time.Duration
+}
+
+// ParseFaults parses a -faults flag value: comma-separated
+// "backend@at[:recoverAt]" items with Go duration syntax, e.g.
+// "1@5s:8s,0@3s" kills backend 1 from 5s to 8s and backend 0 from 3s
+// onward. An empty string is no faults.
+func ParseFaults(s string) ([]Fault, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		backendStr, times, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: fault %q: want backend@at[:recoverAt]", item)
+		}
+		backend, err := strconv.Atoi(backendStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: fault %q: bad backend index: %v", item, err)
+		}
+		atStr, recStr, hasRec := strings.Cut(times, ":")
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: fault %q: bad outage time: %v", item, err)
+		}
+		f := Fault{Backend: backend, At: at}
+		if hasRec {
+			rec, err := time.ParseDuration(recStr)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: bad recovery time: %v", item, err)
+			}
+			f.RecoverAt = rec
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// validateFaults applies the same rules cluster.New enforces for
+// Failures, so a schedule that passes here also passes the sim
+// comparison's mapping.
+func validateFaults(faults []Fault, backends int) error {
+	for _, f := range faults {
+		if f.Backend < 0 || f.Backend >= backends {
+			return fmt.Errorf("loadgen: fault backend %d out of range [0,%d)", f.Backend, backends)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("loadgen: fault time %v must not be negative", f.At)
+		}
+		if f.RecoverAt != 0 && f.RecoverAt <= f.At {
+			return fmt.Errorf("loadgen: fault recovery %v must follow outage %v", f.RecoverAt, f.At)
+		}
+	}
+	return nil
+}

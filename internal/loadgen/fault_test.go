@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"prord/internal/health"
+)
+
+func TestParseFaults(t *testing.T) {
+	got, err := ParseFaults(" 1@5s:8s, 0@300ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Backend: 1, At: 5 * time.Second, RecoverAt: 8 * time.Second},
+		{Backend: 0, At: 300 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseFaults = %+v, want %+v", got, want)
+	}
+	if got, err := ParseFaults(""); err != nil || got != nil {
+		t.Fatalf("ParseFaults(\"\") = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"1", "x@3s", "1@", "1@3s:", "1@3x", "1@3s:4x", "@3s"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateFaults(t *testing.T) {
+	bad := [][]Fault{
+		{{Backend: 2, At: time.Second}},                                 // out of range
+		{{Backend: -1, At: time.Second}},                                // out of range
+		{{Backend: 0, At: -time.Second}},                                // negative time
+		{{Backend: 0, At: 2 * time.Second, RecoverAt: time.Second}},     // recovery before outage
+		{{Backend: 0, At: 2 * time.Second, RecoverAt: 2 * time.Second}}, // recovery == outage
+	}
+	for i, faults := range bad {
+		cfg := smallConfig(OpenLoop)
+		cfg.Faults = faults
+		if err := cfg.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted faults %+v", i, faults)
+		}
+	}
+	cfg := smallConfig(OpenLoop)
+	cfg.Faults = []Fault{{Backend: 1, At: 0, RecoverAt: time.Second}}
+	if err := cfg.withDefaults().Validate(); err != nil {
+		t.Fatalf("valid fault schedule rejected: %v", err)
+	}
+	cfg.ProbeInterval = -time.Second
+	if err := cfg.withDefaults().Validate(); err == nil {
+		t.Error("Validate accepted a negative probe interval")
+	}
+}
+
+// TestFaultScheduleFailover is the live acceptance check for the fault
+// layer: kill one of three backends mid-run and require that the
+// front-end masks the crash completely — zero client-visible errors,
+// failovers counted, the breaker open, and (the real point of the
+// gate's demand counter) essentially no demand reaching the corpse
+// while the schedule keeps offering hundreds of requests.
+func TestFaultScheduleFailover(t *testing.T) {
+	cfg := smallConfig(OpenLoop)
+	cfg.Backends = 3
+	cfg.Health = health.Config{Threshold: 2, Backoff: time.Hour}
+	cfg.ProbeInterval = 5 * time.Millisecond
+	cfg.Faults = []Fault{{Backend: 1, At: 300 * time.Millisecond}}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate Run's sequence by hand so the cluster (and its gates)
+	// stays inspectable.
+	c, err := h.startCluster("PRORD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	start := time.Now()
+	stop := h.startFaults(c, start)
+	live := h.runOpen(c.front.URL, start)
+	stop()
+	c.drainPrefetches(time.Second)
+	run := h.reduce("PRORD", c, live)
+
+	if run.Errors != 0 {
+		t.Errorf("crash leaked to clients: %d errors", run.Errors)
+	}
+	if run.Failovers == 0 {
+		t.Error("no failovers recorded across a mid-run crash")
+	}
+	if run.Retries < run.Failovers {
+		t.Errorf("retries %d < failovers %d", run.Retries, run.Failovers)
+	}
+	if run.Backends[1].BreakerTrips == 0 {
+		t.Error("killed backend's breaker never tripped")
+	}
+	bh := c.dist.Health()
+	if bh[1].State != "open" {
+		t.Errorf("killed backend breaker state %q, want open", bh[1].State)
+	}
+	// Demand on the corpse is bounded by the trip threshold plus
+	// requests already past routing when the gate slammed — not by the
+	// ~half of the schedule that postdates the kill.
+	leaked := c.gates[1].downDemand.Load()
+	if limit := int64(cfg.Health.Threshold + cfg.Workers + 4); leaked > limit {
+		t.Errorf("dead backend received %d demand requests, want <= %d", leaked, limit)
+	}
+
+	sim, err := h.simCompare("PRORD", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Failovers == 0 {
+		t.Error("sim comparison saw no failovers for the same fault schedule")
+	}
+}
+
+// TestRunWithFaultsClosedLoop drives the public Run path with a fault
+// schedule in closed mode. Completion-paced replay can drain before or
+// after the outage lands, so only the hard guarantee is asserted: the
+// crash never surfaces to clients.
+func TestRunWithFaultsClosedLoop(t *testing.T) {
+	cfg := smallConfig(ClosedLoop)
+	cfg.Backends = 3
+	cfg.Health = health.Config{Threshold: 2, Backoff: time.Hour}
+	cfg.Faults = []Fault{{Backend: 0, At: 100 * time.Millisecond}}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := h.Run("PRORD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Errors != 0 {
+		t.Errorf("crash leaked to clients: %d errors", run.Errors)
+	}
+	if run.Sim == nil {
+		t.Fatal("sim comparison missing")
+	}
+}

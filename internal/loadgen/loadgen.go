@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"prord/internal/health"
 	"prord/internal/policy"
 	"prord/internal/trace"
 )
@@ -152,6 +153,24 @@ type Config struct {
 	// Default 8ms; set negative for none.
 	MissLatency time.Duration
 
+	// Faults schedules fail-stop backend outages during each live run;
+	// with CompareSim they are also mapped to cluster.Failures so the
+	// simulator crashes the same backends at the same offsets. Empty
+	// means a fault-free run.
+	Faults []Fault
+	// Health tunes the front-end's per-backend circuit breakers
+	// (httpfront.Config.Health); the zero value uses that package's
+	// defaults.
+	Health health.Config
+	// ProbeInterval enables the front-end's active health probes of
+	// tripped backends. Default 0 (disabled); probes never touch
+	// healthy backends, so fault-free runs are unaffected either way.
+	ProbeInterval time.Duration
+	// FrontRetries sets the front-end's failover retry budget per
+	// request (httpfront.Config.Retries): 0 means the front-end default
+	// of one retry, negative disables retries.
+	FrontRetries int
+
 	// CompareSim runs the discrete-event simulator on the same workload
 	// and policy after each live run and attaches live-vs-sim deltas.
 	CompareSim bool
@@ -250,5 +269,8 @@ func (c Config) Validate() error {
 	if c.MissLatency < 0 {
 		return fmt.Errorf("loadgen: miss latency must not be negative, got %v", c.MissLatency)
 	}
-	return nil
+	if c.ProbeInterval < 0 {
+		return fmt.Errorf("loadgen: probe interval must not be negative, got %v", c.ProbeInterval)
+	}
+	return validateFaults(c.Faults, c.Backends)
 }

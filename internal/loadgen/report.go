@@ -35,7 +35,19 @@ type configJSON struct {
 	TrainFraction float64  `json:"train_fraction"`
 	CacheBytes    int64    `json:"cache_bytes"`
 	MissLatencyMS int64    `json:"miss_latency_ms"`
-	CompareSim    bool     `json:"compare_sim"`
+	// Fault-tolerance knobs are omitted when unused so pre-existing
+	// fault-free artifacts stay byte-identical.
+	Faults          []faultJSON `json:"faults,omitempty"`
+	ProbeIntervalMS int64       `json:"probe_interval_ms,omitempty"`
+	FrontRetries    int         `json:"front_retries,omitempty"`
+	CompareSim      bool        `json:"compare_sim"`
+}
+
+// faultJSON is the stable echo of one scheduled backend outage.
+type faultJSON struct {
+	Backend   int   `json:"backend"`
+	AtMS      int64 `json:"at_ms"`
+	RecoverMS int64 `json:"recover_ms,omitempty"`
 }
 
 // Artifact assembles the versioned machine-readable artifact. Stamp and
@@ -55,9 +67,16 @@ func (r *Result) Artifact() *metrics.BenchArtifact {
 		Preset:        r.Config.Preset.String(),
 		Scale:         r.Config.Scale,
 		TrainFraction: r.Config.TrainFraction,
-		CacheBytes:    r.Config.CacheBytes,
-		MissLatencyMS: r.Config.MissLatency.Milliseconds(),
-		CompareSim:    r.Config.CompareSim,
+		CacheBytes:      r.Config.CacheBytes,
+		MissLatencyMS:   r.Config.MissLatency.Milliseconds(),
+		ProbeIntervalMS: r.Config.ProbeInterval.Milliseconds(),
+		FrontRetries:    r.Config.FrontRetries,
+		CompareSim:      r.Config.CompareSim,
+	}
+	for _, f := range r.Config.Faults {
+		cfg.Faults = append(cfg.Faults, faultJSON{
+			Backend: f.Backend, AtMS: f.At.Milliseconds(), RecoverMS: f.RecoverAt.Milliseconds(),
+		})
 	}
 	switch r.Config.Mode {
 	case OpenLoop:
@@ -96,6 +115,12 @@ func (r *Result) WriteTable(w io.Writer) error {
 			us(run.Latency.P50US), us(run.Latency.P90US), us(run.Latency.P99US),
 			run.HitRate, run.LoadSkew, run.DispatchPerRequest, run.Errors); err != nil {
 			return err
+		}
+		if run.Failovers > 0 || run.Retries > 0 {
+			if _, err := fmt.Fprintf(w, "%-16s failovers=%d retries=%d\n",
+				"  fault-tolerance", run.Failovers, run.Retries); err != nil {
+				return err
+			}
 		}
 		if run.Sim != nil {
 			if _, err := fmt.Fprintf(w, "%-16s %9.1f %27s mean Δ %+.1f%%  thr Δ %+.1f%%  hit %.3f\n",

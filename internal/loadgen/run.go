@@ -64,11 +64,11 @@ func fetch(client *http.Client, url string) (time.Duration, error) {
 // skipping when it falls behind, so the issued count stays
 // deterministic). Warmup classification uses the scheduled arrival
 // offset, not the wall clock, so the warm/measured split is identical
-// across runs.
-func (h *Harness) runOpen(frontURL string) *liveStats {
+// across runs. start anchors the schedule and is shared with the fault
+// runner so outage offsets line up with arrival offsets.
+func (h *Harness) runOpen(frontURL string, start time.Time) *liveStats {
 	locals := make([]workerLocal, len(h.open))
 	var wg sync.WaitGroup
-	start := time.Now()
 	for w := range h.open {
 		wg.Add(1)
 		go func(w int) {
@@ -103,10 +103,9 @@ func (h *Harness) runOpen(frontURL string) *liveStats {
 // (sessions are what the distributor tracks by connection), pausing
 // Think before each page request. Issuing stops at the Duration
 // deadline; in-flight requests are allowed to finish.
-func (h *Harness) runClosed(frontURL string) *liveStats {
+func (h *Harness) runClosed(frontURL string, start time.Time) *liveStats {
 	locals := make([]workerLocal, h.cfg.Concurrency)
 	var wg sync.WaitGroup
-	start := time.Now()
 	deadline := start.Add(h.cfg.Duration)
 	warmEnd := start.Add(h.cfg.Warmup)
 	for w := 0; w < h.cfg.Concurrency; w++ {
@@ -164,15 +163,19 @@ func (h *Harness) Run(polName string) (*metrics.BenchRun, error) {
 	}
 	defer c.close()
 
+	start := time.Now()
+	stopFaults := h.startFaults(c, start)
 	var live *liveStats
 	switch h.cfg.Mode {
 	case OpenLoop:
-		live = h.runOpen(c.front.URL)
+		live = h.runOpen(c.front.URL, start)
 	case ClosedLoop:
-		live = h.runClosed(c.front.URL)
+		live = h.runClosed(c.front.URL, start)
 	default:
+		stopFaults()
 		return nil, fmt.Errorf("loadgen: unknown mode %d", int(h.cfg.Mode))
 	}
+	stopFaults()
 	c.drainPrefetches(time.Second)
 
 	run := h.reduce(polName, c, live)
@@ -213,11 +216,14 @@ func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metri
 	st := c.dist.Stats()
 	run.Handoffs = st.Handoffs
 	run.Prefetches = st.Prefetches
+	run.Failovers = st.Failovers
+	run.Retries = st.Retries
 	if st.Requests > 0 {
 		run.DispatchPerRequest = metrics.Round(float64(st.Dispatches)/float64(st.Requests), 3)
 	}
 	run.LoadSkew = metrics.Skew(st.PerBackend)
 
+	bh := c.dist.Health()
 	var hits, misses int64
 	for i, b := range c.demos {
 		bs := b.Stats()
@@ -226,6 +232,9 @@ func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metri
 		sample := metrics.BackendSample{Prefetches: bs.Prefetches}
 		if i < len(st.PerBackend) {
 			sample.Requests = st.PerBackend[i]
+		}
+		if i < len(bh) {
+			sample.BreakerTrips = bh[i].Trips
 		}
 		if lookups := bs.Hits + bs.Misses; lookups > 0 {
 			sample.HitRate = metrics.Round(float64(bs.Hits)/float64(lookups), 3)

@@ -48,6 +48,9 @@ type BackendSample struct {
 	Prefetches int64 `json:"prefetches"`
 	// HitRate is the backend's memory hit fraction over demand requests.
 	HitRate float64 `json:"hit_rate"`
+	// BreakerTrips counts the front-end circuit breaker's trips for this
+	// backend (0 on fault-free runs and for tools without breakers).
+	BreakerTrips int64 `json:"breaker_trips"`
 }
 
 // SimComparison is the live-vs-simulated delta block of a run: the same
@@ -61,6 +64,12 @@ type SimComparison struct {
 	ThroughputDeltaPct float64 `json:"throughput_delta_pct"`
 	// MeanLatencyDeltaPct is 100*(live-sim)/sim for mean latency.
 	MeanLatencyDeltaPct float64 `json:"mean_latency_delta_pct"`
+	// Failovers counts the simulator's crash-interrupted requests
+	// retried on another backend. The simulator only fails over work
+	// caught mid-service by a crash (later requests route around the
+	// dead backend instantly), so this is expected to undercount the
+	// live front-end's figure, which masks every failed attempt.
+	Failovers int64 `json:"failovers"`
 }
 
 // BenchRun is one measured cell of a benchmark artifact (one policy on
@@ -91,6 +100,12 @@ type BenchRun struct {
 	DispatchPerRequest float64 `json:"dispatch_per_request"`
 	// Handoffs counts connection handoffs at the front-end.
 	Handoffs int64 `json:"handoffs"`
+	// Failovers counts requests transparently re-routed to a healthy
+	// backend after a failed attempt (the client saw a success).
+	Failovers int64 `json:"failovers"`
+	// Retries counts retry attempts the front-end issued while failing
+	// over; at most one per request.
+	Retries int64 `json:"retries"`
 	// Prefetches counts prefetch hints issued by the front-end.
 	Prefetches int64 `json:"prefetches,omitempty"`
 	// Backends holds per-backend request counts and hit rates in backend

@@ -1,0 +1,66 @@
+package policy
+
+// unavailableLoad is the load reported for an excluded backend: large
+// enough that every load comparison avoids it, with headroom so adding
+// real queue depth cannot overflow. The cluster model uses the same
+// sentinel for crashed servers.
+const unavailableLoad = int(^uint(0) >> 2)
+
+// Restrict wraps a View so backends for which excluded returns true are
+// invisible to the policy: their load reads as unavailableLoad, they are
+// filtered from locality and prefetch server sets, an in-flight request
+// on them is not reported, and a connection pinned to one loses its
+// LastServer binding (forcing a re-route). Load-blind policies (WRR) can
+// still name an excluded backend; callers must re-check the decision and
+// re-route, exactly as the simulator's front-end does after a crash.
+func Restrict(v View, excluded func(int) bool) View {
+	return &restrictedView{inner: v, excluded: excluded}
+}
+
+type restrictedView struct {
+	inner    View
+	excluded func(int) bool
+}
+
+func (r *restrictedView) NumServers() int { return r.inner.NumServers() }
+
+func (r *restrictedView) Load(i int) int {
+	if r.excluded(i) {
+		return unavailableLoad
+	}
+	return r.inner.Load(i)
+}
+
+func (r *restrictedView) ServersWith(file string) []int {
+	return r.filter(r.inner.ServersWith(file))
+}
+
+func (r *restrictedView) PrefetchedAt(file string) []int {
+	return r.filter(r.inner.PrefetchedAt(file))
+}
+
+func (r *restrictedView) InFlight(file string) (int, bool) {
+	s, ok := r.inner.InFlight(file)
+	if !ok || r.excluded(s) {
+		return 0, false
+	}
+	return s, true
+}
+
+func (r *restrictedView) LastServer(conn int) (int, bool) {
+	s, ok := r.inner.LastServer(conn)
+	if !ok || r.excluded(s) {
+		return 0, false
+	}
+	return s, true
+}
+
+func (r *restrictedView) filter(servers []int) []int {
+	out := servers[:0:0]
+	for _, s := range servers {
+		if !r.excluded(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func exclude(servers ...int) func(int) bool {
+	set := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		set[s] = true
+	}
+	return func(i int) bool { return set[i] }
+}
+
+func TestRestrictView(t *testing.T) {
+	v := newFakeView(4, 1, 7)
+	v.serversFor["/a.html"] = []int{0, 1, 2}
+	v.prefetched["/b.html"] = []int{1}
+	v.inflight["/a.html"] = 1
+	v.inflight["/c.html"] = 2
+	v.last[9] = 1
+	v.last[8] = 2
+	r := Restrict(v, exclude(1))
+
+	if r.NumServers() != 3 {
+		t.Fatalf("NumServers = %d", r.NumServers())
+	}
+	if got := r.Load(1); got != unavailableLoad {
+		t.Fatalf("excluded Load = %d, want unavailableLoad", got)
+	}
+	if got := r.Load(2); got != 7 {
+		t.Fatalf("included Load = %d, want 7", got)
+	}
+	if got := r.ServersWith("/a.html"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("ServersWith = %v, want [0 2]", got)
+	}
+	if got := r.PrefetchedAt("/b.html"); len(got) != 0 {
+		t.Fatalf("PrefetchedAt = %v, want empty", got)
+	}
+	if _, ok := r.InFlight("/a.html"); ok {
+		t.Fatal("InFlight reported an excluded backend")
+	}
+	if s, ok := r.InFlight("/c.html"); !ok || s != 2 {
+		t.Fatalf("InFlight(/c.html) = %d,%v, want 2,true", s, ok)
+	}
+	if _, ok := r.LastServer(9); ok {
+		t.Fatal("LastServer exposed a connection pinned to an excluded backend")
+	}
+	if s, ok := r.LastServer(8); !ok || s != 2 {
+		t.Fatalf("LastServer(8) = %d,%v, want 2,true", s, ok)
+	}
+}
+
+// TestRestrictSteersLoadAwarePolicies routes with every policy through a
+// Restrict view that excludes backend 0; the load-aware family must never
+// choose it, and WRR (load-blind by design) is allowed to — the front-end
+// re-checks the decision, as the simulator does after a crash.
+func TestRestrictSteersLoadAwarePolicies(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			p, err := ByName(name, 3, Thresholds{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name() == "WRR" {
+				t.Skip("WRR routes load-blind; the caller re-routes")
+			}
+			v := newFakeView(0, 5, 5)
+			// Make the excluded backend maximally attractive: it holds the
+			// file, prefetched it, has it in flight, and owns the session.
+			v.serversFor["/a.html"] = []int{0}
+			v.prefetched["/a.html"] = []int{0}
+			v.inflight["/a.html"] = 0
+			v.last[1] = 0
+			r := Restrict(v, exclude(0))
+			for _, req := range []Request{
+				{Conn: 1, Path: "/a.html"},
+				{Conn: 2, Path: "/a.html", First: true},
+				{Conn: 1, Path: "/a.gif", Embedded: true},
+			} {
+				if d := p.Route(req, r); d.Server == 0 {
+					t.Fatalf("%s routed %+v to the excluded backend", name, req)
+				}
+			}
+		})
+	}
+}
