@@ -8,12 +8,14 @@
 #   make lint    the repo's custom determinism/concurrency analyzers
 #   make race-failover  fault-tolerance stress tests under the race
 #                detector (backend crashes, failover retry, breaker churn)
+#   make race-overload  overload-control stress tests under the race
+#                detector (admission gate, degrade ladder, rate ramps)
 #   make bench-smoke  short live-cluster loadgen run over all policies
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint race-failover bench-smoke ci
+.PHONY: build test race vet lint race-failover race-overload bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +40,15 @@ race-failover:
 	$(GO) test -race -count=2 -run 'Failover|Fault|Probe|Churn|Breaker' \
 		./internal/health/ ./internal/httpfront/ ./internal/loadgen/
 
+# The overload suite repeated under the race detector: estimator/tier
+# transitions, the Critical-tier admission gate, tiered shedding in the
+# live front-end and the simulator mirror, and the loadgen rate-ramp
+# acceptance scenario. Already part of `make race`; this target runs it
+# alone, repeated, for hunting flakes in the overload path.
+race-overload:
+	$(GO) test -race -count=2 -run 'Overload|Admission|Shed|Tier|Gate|Ramp|Estimator' \
+		./internal/overload/ ./internal/httpfront/ ./internal/cluster/ ./internal/loadgen/
+
 # A ~30s live benchmark: open-loop load against 2 demo backends for each
 # of the three headline policies, with the simulator comparison attached.
 # Produces BENCH_loadgen.json (CI uploads it as an artifact).
@@ -46,4 +57,4 @@ bench-smoke:
 		-backends 2 -rate 300 -duration 10s -warmup 2s -seed 1 \
 		-scale 0.1 -out BENCH_loadgen.json
 
-ci: build vet lint race race-failover
+ci: build vet lint race race-failover race-overload

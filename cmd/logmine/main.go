@@ -28,6 +28,7 @@ func main() {
 		top     = flag.Int("top", 10, "number of popularity entries to print")
 		stats   = flag.Bool("stats", false, "also print the workload characterization (Zipf fit, sessions)")
 		out     = flag.String("o", "", "save the mined model as JSON to this file")
+		maxSkip = flag.Float64("max-skip-ratio", 1, "fail (exit 1) when the malformed-line ratio exceeds this fraction")
 	)
 	flag.Parse()
 	if *order < 1 {
@@ -36,6 +37,10 @@ func main() {
 	}
 	if *bundles < 0 || *top < 0 {
 		fmt.Fprintf(os.Stderr, "logmine: -bundles and -top must not be negative, got %d and %d\n", *bundles, *top)
+		os.Exit(1)
+	}
+	if *maxSkip < 0 || *maxSkip > 1 {
+		fmt.Fprintf(os.Stderr, "logmine: -max-skip-ratio must be in [0,1], got %v\n", *maxSkip)
 		os.Exit(1)
 	}
 
@@ -83,6 +88,7 @@ func main() {
 	fmt.Printf("requests:       %d\n", sum.Requests)
 	fmt.Printf("distinct files: %d\n", sum.Files)
 	fmt.Printf("sessions:       %d\n", sum.Sessions)
+	fmt.Printf("skipped lines:  %d (%.1f%% malformed)\n", sum.Skipped, 100*sum.SkipRatio())
 	fmt.Printf("nav contexts:   %d (order %d)\n", sum.Contexts, *order)
 	fmt.Printf("transitions:    %d\n", sum.Transitions)
 	fmt.Printf("bundled pages:  %d\n", sum.BundledPages)
@@ -124,5 +130,14 @@ func main() {
 			}
 			fmt.Printf("  %s: %v\n", p, sum.Bundles[p])
 		}
+	}
+
+	// Quality gate, checked last so the report above still prints: a log
+	// that is mostly unparseable produces a model mined from a sliver of
+	// the real traffic, and automation should notice.
+	if ratio := sum.SkipRatio(); ratio > *maxSkip {
+		fmt.Fprintf(os.Stderr, "logmine: %.1f%% of lines were malformed, exceeding -max-skip-ratio %.1f%%\n",
+			100*ratio, 100**maxSkip)
+		os.Exit(1)
 	}
 }

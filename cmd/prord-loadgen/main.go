@@ -12,6 +12,7 @@
 //	prord-loadgen -mode closed -policy WRR,LARD,PRORD -sessions 300 -concurrency 24
 //	prord-loadgen -mode open -rate 200 -sim=false -out /tmp/bench.json
 //	prord-loadgen -mode open -backends 3 -faults 1@10s:20s -probe-interval 250ms
+//	prord-loadgen -mode open -rate 100 -ramp-to 1000 -overload -overload-capacity 8
 //
 // The same seed and flags reproduce the same offered workload
 // byte-for-byte (see the schedule_digest field); only genuinely measured
@@ -27,6 +28,7 @@ import (
 
 	"prord/internal/health"
 	"prord/internal/loadgen"
+	"prord/internal/overload"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		policies    = flag.String("policy", "PRORD", "comma-separated policy list (case-insensitive)")
 		backends    = flag.Int("backends", 4, "number of demo backend servers")
 		rate        = flag.Float64("rate", 500, "open loop: aggregate arrival rate (req/s)")
+		rampTo      = flag.Float64("ramp-to", 0, "open loop: ramp the rate linearly to this value across -duration (0: flat)")
 		workers     = flag.Int("workers", 8, "open loop: client connections carrying the schedule")
 		sessions    = flag.Int("sessions", 200, "closed loop: trace sessions to replay")
 		concurrency = flag.Int("concurrency", 16, "closed loop: concurrent clients")
@@ -55,6 +58,11 @@ func main() {
 		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: front-end default)")
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: front-end default)")
 		retries       = flag.Int("retries", 0, "failover retries per request (0: front-end default of 1, negative disables)")
+
+		overloadOn = flag.Bool("overload", false, "enable front-end overload control (degrade ladder + admission); mirrored in the simulator when -sim is set")
+		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend (0: default 64)")
+		queueLimit = flag.Int("overload-queue", 0, "accept-queue slots at Critical tier (0: default 16, negative disables queuing)")
+		minHold    = flag.Duration("overload-min-hold", 0, "minimum time at a tier before stepping down (0: default 1s)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -87,11 +95,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var ovcfg *overload.Config
+	if *overloadOn {
+		ovcfg = &overload.Config{
+			CapacityPerBackend: *capacity,
+			QueueLimit:         *queueLimit,
+			MinHold:            *minHold,
+		}
+	}
 	cfg := loadgen.Config{
 		Mode:          m,
 		Policies:      pols,
 		Backends:      *backends,
 		Rate:          *rate,
+		RampTo:        *rampTo,
 		Workers:       *workers,
 		Sessions:      *sessions,
 		Concurrency:   *concurrency,
@@ -108,6 +125,7 @@ func main() {
 		Health:        health.Config{Threshold: *breakThresh, Backoff: *breakBackoff},
 		ProbeInterval: *probeInterval,
 		FrontRetries:  *retries,
+		Overload:      ovcfg,
 		CompareSim:    *sim,
 	}
 	h, err := loadgen.New(cfg)

@@ -14,7 +14,11 @@
 // Watch the X-Prord-Backend and X-Prord-Cache response headers to see
 // locality routing and cache warming at work. Backend failures are
 // handled by per-backend circuit breakers with failover retry; tune
-// them with the -breaker-*, -probe-* and -retries flags.
+// them with the -breaker-*, -probe-* and -retries flags. Overload
+// control (the degrade ladder plus Critical-tier admission control) is
+// on by default; tune it with the -overload-* flags or disable it with
+// -overload=false. Shed responses are 503s carrying X-Prord-Shed and
+// Retry-After; the current tier is visible on /_prord/cluster.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"prord/internal/health"
 	"prord/internal/httpfront"
 	"prord/internal/mining"
+	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/trace"
 )
@@ -50,6 +55,11 @@ func main() {
 		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: default 3)")
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: default 500ms)")
 		breakMax      = flag.Duration("breaker-max-backoff", 0, "breaker backoff ceiling under repeated failed trials (0: default 30s)")
+
+		overloadOn = flag.Bool("overload", true, "enable the overload degrade ladder and admission control")
+		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend before the cluster counts as saturated (0: default 64)")
+		queueLimit = flag.Int("overload-queue", 0, "accept-queue slots at Critical tier (0: default 16, negative disables queuing)")
+		minHold    = flag.Duration("overload-min-hold", 0, "minimum time at a tier before stepping back down (0: default 1s)")
 	)
 	flag.Parse()
 	if *backends <= 0 {
@@ -122,6 +132,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var ovcfg *overload.Config
+	if *overloadOn {
+		ovcfg = &overload.Config{
+			CapacityPerBackend: *capacity,
+			QueueLimit:         *queueLimit,
+			MinHold:            *minHold,
+		}
+	}
 	dist, err := httpfront.New(httpfront.Config{
 		Backends: urls,
 		Policy:   pol,
@@ -136,6 +154,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		ProbeSeed:     *seed,
+		Overload:      ovcfg,
 	})
 	if err != nil {
 		fail(err)

@@ -8,6 +8,7 @@ import (
 	"prord/internal/cache"
 	"prord/internal/metrics"
 	"prord/internal/mining"
+	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/replicate"
 	"prord/internal/sim"
@@ -50,6 +51,15 @@ type Config struct {
 	// CPUSharing switches the backend CPUs from FCFS to processor
 	// sharing (time-sliced web server workers); disks stay FCFS.
 	CPUSharing bool
+	// Overload mirrors the live front-end's degrade ladder in the
+	// simulator, driven by virtual time: Elevated sheds prefetch and
+	// replication work, Saturated falls back to locality-only LARD, and
+	// Critical sheds demand requests past the admission limit. The live
+	// accept queue is modeled as in-flight headroom above the limit
+	// (queued live requests wait; simulated ones are admitted or shed),
+	// so live-vs-sim shed counts agree only within the tolerance
+	// documented in DESIGN.md §5e. Nil disables the layer.
+	Overload *overload.Config
 }
 
 // Failure is one injected backend crash.
@@ -108,6 +118,11 @@ type Cluster struct {
 	firstArr  time.Duration // earliest request issue time
 	lastDone  time.Duration // latest completion time
 	ran       bool
+
+	// Overload mirror (nil/zero when Config.Overload is nil).
+	est        *overload.Estimator
+	fallback   policy.Policy // locality-only LARD for the Saturated tier
+	admitLimit int           // in-flight capacity + modeled accept queue
 }
 
 // New builds a cluster from cfg.
@@ -203,7 +218,31 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Power.Enabled {
 		c.power = newPowerTracker(cfg.Power, cfg.Params.Backends)
 	}
+	if cfg.Overload != nil {
+		oc := cfg.Overload.WithDefaults()
+		if err := oc.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.est = overload.NewEstimator(oc, cfg.Params.Backends)
+		c.fallback = policy.NewLARD(policy.Thresholds{})
+		c.admitLimit = oc.CapacityPerBackend*cfg.Params.Backends + oc.QueueLimit
+	}
 	return c, nil
+}
+
+// tier returns the overload mirror's current ladder position (Normal
+// when the layer is disabled).
+func (c *Cluster) tier() overload.Tier {
+	if c.est == nil {
+		return overload.Normal
+	}
+	return c.est.Tier()
+}
+
+// vnow maps the engine's virtual time onto the time.Time scale the
+// estimator's clock-injected API expects.
+func (c *Cluster) vnow() time.Time {
+	return time.Time{}.Add(c.eng.Now())
 }
 
 // crash takes a backend down: its memory is lost and the dispatcher

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"prord/internal/overload"
+	"prord/internal/policy"
+)
+
+// TestSimOverloadShedsUnderPressure runs a trace through a cluster with
+// a deliberately tiny admission limit: the mirror must shed, record a
+// monotone ladder ascent, and keep the request accounting exact.
+func TestSimOverloadShedsUnderPressure(t *testing.T) {
+	tr, m := testWorkload(t, 3000, 7)
+	run := func() *Result {
+		cl, err := New(Config{
+			Params:   smallParams(2, 4, 2),
+			Policy:   policy.NewPRORD(policy.Thresholds{}),
+			Features: Features{Bundle: true, NavPrefetch: true},
+			Miner:    m,
+			Overload: &overload.Config{
+				CapacityPerBackend: 1,
+				QueueLimit:         -1,
+				MinHold:            time.Hour, // ascent only: transitions must be monotone
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Metrics.Shed == 0 {
+		t.Fatal("no requests shed at a 2-request admission limit")
+	}
+	if got := res.Metrics.Completed + res.Metrics.Shed + res.Metrics.Failed; got != int64(len(tr.Requests)) {
+		t.Errorf("completed %d + shed %d + failed %d = %d, want %d requests",
+			res.Metrics.Completed, res.Metrics.Shed, res.Metrics.Failed, got, len(tr.Requests))
+	}
+	if len(res.TierTransitions) == 0 {
+		t.Fatal("no tier transitions recorded")
+	}
+	for i, mv := range res.TierTransitions {
+		if mv.To <= mv.From {
+			t.Errorf("transition %d (%v→%v) not an ascent despite MinHold", i, mv.From, mv.To)
+		}
+		if i > 0 && mv.At < res.TierTransitions[i-1].At {
+			t.Errorf("transition offsets not monotone: %v", res.TierTransitions)
+		}
+	}
+	// Proactive work is shed before demand traffic: the ladder passes
+	// Elevated on its way to Critical.
+	if res.Metrics.PrefetchShed == 0 {
+		t.Error("no proactive passes shed on the way to Critical")
+	}
+	// The mirror is deterministic: a second identical run sheds the same
+	// requests at the same virtual times.
+	res2 := run()
+	if res.Metrics.Shed != res2.Metrics.Shed || res.Metrics.PrefetchShed != res2.Metrics.PrefetchShed {
+		t.Errorf("shed counts diverge across identical runs: %d/%d vs %d/%d",
+			res.Metrics.Shed, res.Metrics.PrefetchShed, res2.Metrics.Shed, res2.Metrics.PrefetchShed)
+	}
+	if !reflect.DeepEqual(res.TierTransitions, res2.TierTransitions) {
+		t.Errorf("tier transitions diverge across identical runs:\n%v\n%v",
+			res.TierTransitions, res2.TierTransitions)
+	}
+}
+
+// TestSimOverloadShedsProactiveWorkFirst forces Elevated from the first
+// completion and checks prefetch and replication work stops entirely
+// while demand traffic is untouched.
+func TestSimOverloadShedsProactiveWorkFirst(t *testing.T) {
+	tr, m := testWorkload(t, 2000, 9)
+	run := func(oc *overload.Config) *Result {
+		cl, err := New(Config{
+			Params:              smallParams(2, 4, 2),
+			Policy:              policy.NewPRORD(policy.Thresholds{}),
+			Features:            Features{Bundle: true, NavPrefetch: true, Replication: true},
+			Miner:               m,
+			ReplicationInterval: 50 * time.Millisecond,
+			Overload:            oc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(&overload.Config{
+		CapacityPerBackend: 1000, // never Critical via in-flight
+		ElevatedAt:         0.0001,
+		SaturatedAt:        0.5,
+		CriticalAt:         0.9,
+		MinHold:            time.Hour,
+	})
+	baseline := run(nil)
+	if res.Metrics.Shed != 0 {
+		t.Errorf("Shed = %d, want 0 (Elevated must not touch demand traffic)", res.Metrics.Shed)
+	}
+	if res.Metrics.Completed != int64(len(tr.Requests)) {
+		t.Errorf("Completed = %d, want %d", res.Metrics.Completed, len(tr.Requests))
+	}
+	if res.Metrics.PrefetchShed == 0 {
+		t.Error("no proactive passes shed at Elevated")
+	}
+	if res.Metrics.Prefetches != 0 {
+		t.Errorf("Prefetches = %d, want 0 (hints shed from the first completion)", res.Metrics.Prefetches)
+	}
+	if res.Metrics.ReplicationsShed == 0 {
+		t.Error("no replication rounds shed at Elevated")
+	}
+	// Ticks before the first arrival run at Normal (an idle cluster has
+	// nothing to shed), so some pre-traffic replication is expected; once
+	// traffic lifts the tier the refresh stops, well short of baseline.
+	if res.Metrics.Replications >= baseline.Metrics.Replications {
+		t.Errorf("Replications = %d with shedding, want fewer than baseline %d",
+			res.Metrics.Replications, baseline.Metrics.Replications)
+	}
+}
+
+// TestSimOverloadDisabledIsUnchanged pins that a nil Overload config
+// leaves the simulation byte-for-byte identical to the pre-overload
+// code path (no estimator, no transitions, no shed counters).
+func TestSimOverloadDisabledIsUnchanged(t *testing.T) {
+	tr, m := testWorkload(t, 1500, 11)
+	cl, err := New(Config{
+		Params:   smallParams(2, 4, 2),
+		Policy:   policy.NewPRORD(policy.Thresholds{}),
+		Features: Features{Bundle: true},
+		Miner:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Shed != 0 || res.Metrics.PrefetchShed != 0 || res.Metrics.ReplicationsShed != 0 {
+		t.Errorf("shed counters set with overload disabled: %+v", res.Metrics)
+	}
+	if res.TierTransitions != nil {
+		t.Errorf("TierTransitions = %v, want nil", res.TierTransitions)
+	}
+}

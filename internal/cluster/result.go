@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prord/internal/metrics"
+	"prord/internal/overload"
 	"prord/internal/trace"
 )
 
@@ -46,6 +47,10 @@ type Result struct {
 	// value near 1 means the front-end was the bottleneck (§2.1's
 	// motivation for decentralized distribution).
 	FrontUtilization []float64
+	// TierTransitions is the overload mirror's degrade-ladder history in
+	// virtual time (nil when Config.Overload is nil). Deterministic for a
+	// given trace and configuration.
+	TierTransitions []overload.Transition
 }
 
 // result collects the run outcome.
@@ -68,6 +73,9 @@ func (c *Cluster) result(tr *trace.Trace) *Result {
 	}
 	for _, f := range c.fronts {
 		res.FrontUtilization = append(res.FrontUtilization, f.Utilization())
+	}
+	if c.est != nil {
+		res.TierTransitions = c.est.Transitions()
 	}
 	for _, b := range c.backends {
 		res.Servers = append(res.Servers, ServerStats{

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/trace"
 )
@@ -90,7 +91,14 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 			if c.remaining <= 0 {
 				return
 			}
-			c.replmgr.Step(c)
+			if c.tier() >= overload.Elevated {
+				// The degrade ladder sheds replication refresh along with
+				// prefetching: no proactive copies while the cluster is
+				// pressed.
+				c.met.ReplicationsShed++
+			} else {
+				c.replmgr.Step(c)
+			}
 			c.eng.After(c.cfg.ReplicationInterval, tick)
 		}
 		c.eng.After(c.cfg.ReplicationInterval, tick)
@@ -152,12 +160,36 @@ func (c *Cluster) classifyEmbedded(conn int, path string) bool {
 // processRequest runs the Fig. 4 front-end flow and hands the request to
 // a backend.
 func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, issued time.Duration) {
+	tier := c.tier()
 	last, haveLast := c.lastServer[s.id]
+	// Critical-tier admission control, mirrored from the live front-end.
+	// The live accept queue is modeled as in-flight headroom above the
+	// admission limit; embedded-object requests of in-progress sessions
+	// are never shed (their page was already admitted).
+	if c.est != nil && tier == overload.Critical {
+		bypass := haveLast && trace.IsEmbeddedPath(r.Path)
+		if !bypass && c.est.InFlight() >= c.admitLimit {
+			c.met.Shed++
+			c.remaining--
+			c.scheduleNext(tr, s)
+			return
+		}
+	}
+	// From Saturated up, bundle classification stops and routing falls
+	// back to locality-only LARD, exactly like the live front-end.
+	embedded := c.classifyEmbedded(s.id, r.Path)
+	pol := c.cfg.Policy
+	if tier >= overload.Saturated {
+		embedded = false
+		if c.fallback != nil {
+			pol = c.fallback
+		}
+	}
 	preq := policy.Request{
 		Conn:     s.id,
 		Path:     r.Path,
 		Size:     r.Size,
-		Embedded: c.classifyEmbedded(s.id, r.Path),
+		Embedded: embedded,
 		First:    !haveLast,
 	}
 	// The forward module (Fig. 4's dashed box) lives in the front-end
@@ -169,7 +201,7 @@ func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, 
 	if preq.Embedded && haveLast && !c.unavailable(last) {
 		d = policy.Decision{Server: last, Source: -1}
 	} else {
-		d = c.cfg.Policy.Route(preq, c)
+		d = pol.Route(preq, c)
 	}
 	if d.Server < 0 || d.Server >= len(c.backends) {
 		panic(fmt.Sprintf("cluster: policy %s routed to invalid server %d", c.cfg.Policy.Name(), d.Server))
@@ -210,6 +242,10 @@ func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, 
 
 	if c.replmgr != nil {
 		c.replmgr.Ranker().Observe(r.Path)
+	}
+
+	if c.est != nil {
+		c.est.Begin(c.vnow())
 	}
 
 	// The L4 switch pins each connection to one distributor.
@@ -285,6 +321,11 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 
 // complete finishes one request: metrics, proactive hooks, next issue.
 func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration) {
+	if c.est != nil {
+		// Feed the overload mirror one completion (a crash-retry re-enters
+		// processRequest and Begins again, keeping the count balanced).
+		c.est.End(c.vnow(), end-issued)
+	}
 	if c.down[server] {
 		// The backend crashed while serving: the response never reached
 		// the client, which retries through the front-end.
@@ -311,7 +352,12 @@ func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server
 	c.remaining--
 
 	if !trace.IsEmbeddedPath(r.Path) {
-		c.proactiveHooks(s.id, server, r.Path)
+		if c.est != nil && c.tier() >= overload.Elevated && c.cfg.Features.Any() {
+			// Elevated and above shed PRORD's proactive pass entirely.
+			c.met.PrefetchShed++
+		} else {
+			c.proactiveHooks(s.id, server, r.Path)
+		}
 	}
 	c.scheduleNext(tr, s)
 }

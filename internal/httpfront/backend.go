@@ -154,16 +154,18 @@ func (b *DemoBackend) StatsHandler() http.Handler {
 }
 
 // ClusterStatsHandler serves the whole live cluster's state in one
-// document: the distributor's counters, per-backend health, and each
+// document: the distributor's counters, per-backend health, the
+// overload layer's tier and ladder history (when enabled), and each
 // demo backend's counters, in backend order.
 func ClusterStatsHandler(d *Distributor, backends []*DemoBackend) http.Handler {
 	type payload struct {
 		Distributor Stats           `json:"distributor"`
 		Health      []BackendHealth `json:"health"`
+		Overload    *OverloadState  `json:"overload,omitempty"`
 		Backends    []DemoStats     `json:"backends"`
 	}
 	return jsonHandler(func() any {
-		p := payload{Distributor: d.Stats(), Health: d.Health()}
+		p := payload{Distributor: d.Stats(), Health: d.Health(), Overload: d.Overload()}
 		for _, b := range backends {
 			p.Backends = append(p.Backends, b.Stats())
 		}

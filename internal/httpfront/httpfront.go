@@ -25,6 +25,7 @@ import (
 	"prord/internal/cache"
 	"prord/internal/health"
 	"prord/internal/mining"
+	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/randutil"
 	"prord/internal/trace"
@@ -40,6 +41,11 @@ const BackendHeader = "X-Prord-Backend"
 // ProbeHeader marks a front-end health probe; backends should answer
 // cheaply and without side effects when they see it.
 const ProbeHeader = "X-Prord-Probe"
+
+// ShedHeader marks a 503 as Critical-tier admission control shedding
+// the request (as opposed to a genuine failure): the client should back
+// off per Retry-After and retry, nothing is wrong with its request.
+const ShedHeader = "X-Prord-Shed"
 
 // Config assembles a Distributor.
 type Config struct {
@@ -87,6 +93,11 @@ type Config struct {
 	// PrefetchTimeout bounds one prefetch-hint round-trip so a hung
 	// backend cannot stall the prefetcher forever. Default 5s.
 	PrefetchTimeout time.Duration
+	// Overload enables the overload-control layer: a load estimator
+	// classifying the cluster into degrade-ladder tiers, tiered shedding
+	// of PRORD's proactive work, and Critical-tier admission control.
+	// Nil disables the layer entirely (no behavior change).
+	Overload *overload.Config
 }
 
 // Observation is one completed demand request as seen by the front-end:
@@ -121,6 +132,22 @@ type Stats struct {
 	Failovers int64 `json:"failovers"`
 	// Retries counts re-proxied attempts made by the failover path.
 	Retries int64 `json:"retries"`
+	// Shed counts demand requests refused by Critical-tier admission
+	// control (503 + Retry-After + ShedHeader, never proxied). Shed
+	// requests are included in Requests but not in PerBackend.
+	Shed int64 `json:"shed"`
+	// PrefetchShed counts proactive prefetch passes suppressed because
+	// the cluster sat at Elevated tier or above (the hints were never
+	// generated).
+	PrefetchShed int64 `json:"prefetch_shed"`
+	// PrefetchHintsDropped counts generated hints lost to a full
+	// prefetch queue — the previously silent default-case drop in the
+	// enqueue path.
+	PrefetchHintsDropped int64 `json:"prefetch_hints_dropped"`
+	// Unavailable counts demand requests refused with 503 because every
+	// backend's breaker was open (no ShedHeader: the cluster is dead,
+	// not overloaded). Included in Requests but not in PerBackend.
+	Unavailable int64 `json:"unavailable"`
 	// PerBackend counts demand requests routed to each backend
 	// (including failover retries), in backend order. Prefetch hints
 	// are not included.
@@ -162,6 +189,14 @@ type Distributor struct {
 	breakers   []*health.Breaker // per-backend circuit breakers
 	probes     []int64           // per-backend probe counts
 	probeStop  chan struct{}
+
+	// Overload-control state (nil/unused when Config.Overload is nil).
+	// The estimator and gate are clock-injected/clockless state machines
+	// serialized by d.mu, like the breakers.
+	ovcfg    overload.Config
+	est      *overload.Estimator
+	gate     *overload.Gate
+	fallback policy.Policy // locality-only LARD for the Saturated tier
 }
 
 type sessionState struct {
@@ -235,6 +270,16 @@ func New(cfg Config) (*Distributor, error) {
 		// The locality map counts entries, not bytes: every file weighs 1.
 		d.locality = append(d.locality, cache.NewLRU(cfg.LocalityEntries))
 		d.breakers = append(d.breakers, health.NewBreaker(cfg.Health))
+	}
+	if cfg.Overload != nil {
+		oc := cfg.Overload.WithDefaults()
+		if err := oc.Validate(); err != nil {
+			return nil, fmt.Errorf("httpfront: %w", err)
+		}
+		d.ovcfg = oc
+		d.est = overload.NewEstimator(oc, len(cfg.Backends))
+		d.gate = overload.NewGate(oc.CapacityPerBackend*len(cfg.Backends), oc.QueueLimit)
+		d.fallback = policy.NewLARD(policy.Thresholds{})
 	}
 	if cfg.Miner != nil && cfg.Prefetch {
 		d.tracker = mining.NewTracker(cfg.Miner.Model, true)
@@ -336,8 +381,10 @@ func (d *Distributor) evictIdleSessions() {
 // route performs the Fig. 4 front-end flow for one request and returns
 // the chosen backend plus the prefetch jobs to enqueue (predicted next
 // page and the current page's bundle objects). It mutates the routing
-// state under d.mu.
-func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetchJob) {
+// state under d.mu. routed is false when every backend's breaker is
+// open: the request was counted but not booked anywhere, and the caller
+// must answer 503 immediately instead of feeding a dead cluster.
+func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetchJob, routed bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
@@ -345,34 +392,54 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 	st := d.session(sessionKey)
 	d.stats.Requests++
 
+	tier := overload.Normal
+	if d.est != nil {
+		tier = d.est.Tier()
+	}
+
+	// From Saturated up the ladder stops bundle-aware dispatcher bypass
+	// work: requests route as plain (non-embedded) traffic below.
 	embedded := false
-	if d.cfg.Miner != nil && st.lastPage != "" && trace.IsEmbeddedPath(path) {
+	if tier < overload.Saturated && d.cfg.Miner != nil && st.lastPage != "" && trace.IsEmbeddedPath(path) {
 		if parent, ok := d.cfg.Miner.Bundles.Parent(path); ok && parent == st.lastPage {
 			embedded = true
 		}
 	}
 
-	// Backends whose breakers are blocked are hidden from the policy. If
-	// every breaker is blocked the front-end fails open and routes
-	// normally: refusing all traffic is worse than trying a suspect.
+	// Backends whose breakers are blocked are hidden from the policy.
 	ready := d.readyCount(now)
 	view := policy.View((*lockedView)(d))
-	if ready > 0 && ready < len(d.loads) {
+	if ready < len(d.loads) {
 		view = policy.Restrict(view, func(i int) bool { return !d.breakers[i].Ready(now) })
+		if policy.AllExcluded(view) {
+			// Every breaker is open: refuse fast instead of retrying into
+			// a dead cluster. Breakers re-admit trial traffic once their
+			// backoff expires, so this state clears itself.
+			d.stats.Unavailable++
+			return 0, nil, false
+		}
+	}
+
+	// From Saturated up, routing degrades to the locality-only LARD
+	// fallback: cheap, cache-friendly placement with none of PRORD's
+	// proactive machinery.
+	pol := d.pol
+	if tier >= overload.Saturated && d.fallback != nil {
+		pol = d.fallback
 	}
 
 	var dec policy.Decision
-	if embedded && st.hasSrv && (ready == 0 || d.breakers[st.server].Ready(now)) {
+	if embedded && st.hasSrv && d.breakers[st.server].Ready(now) {
 		dec = policy.Decision{Server: st.server, Source: -1}
 	} else {
-		dec = d.pol.Route(policy.Request{
+		dec = pol.Route(policy.Request{
 			Conn:     st.id,
 			Path:     path,
 			Embedded: embedded,
 			First:    !st.hasSrv,
 		}, view)
 	}
-	if ready > 0 && !d.breakers[dec.Server].Ready(now) {
+	if !d.breakers[dec.Server].Ready(now) {
 		// A load-blind policy (WRR) named a blocked backend anyway:
 		// re-route to the least-loaded healthy one, exactly as the
 		// simulator's front-end does after a crash.
@@ -381,6 +448,9 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 		}
 	}
 	d.breakers[dec.Server].Begin(now)
+	if d.est != nil {
+		d.est.Begin(now)
+	}
 	if dec.Dispatch {
 		d.stats.Dispatches++
 	} else if st.hasSrv {
@@ -418,8 +488,13 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 	}
 
 	// Proactive hints (PRORD's backend-side prefetching over HTTP): the
-	// current page's bundle objects, plus the predicted next page.
-	if d.tracker != nil && !trace.IsEmbeddedPath(path) {
+	// current page's bundle objects, plus the predicted next page. The
+	// degrade ladder sheds this speculative work first: nothing is
+	// generated from Elevated up.
+	if d.tracker != nil && !trace.IsEmbeddedPath(path) && tier >= overload.Elevated {
+		d.stats.PrefetchShed++
+	}
+	if d.tracker != nil && !trace.IsEmbeddedPath(path) && tier < overload.Elevated {
 		admit := func(file string) {
 			if d.locality[dec.Server].Contains(file) || d.prefetched[file][dec.Server] {
 				return
@@ -435,7 +510,7 @@ func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetc
 			admit(pred.Page)
 		}
 	}
-	return dec.Server, jobs
+	return dec.Server, jobs, true
 }
 
 func addTo(m map[string]map[int]bool, file string, server int) {
@@ -590,9 +665,102 @@ func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
 		select {
 		case d.prefetch <- job:
 		default:
-			// The prefetch queue is best-effort; drop under pressure.
+			// The prefetch queue is best-effort; drop under pressure, but
+			// visibly — a saturated hint queue is an overload signal.
+			d.stats.PrefetchHintsDropped++
 		}
 	}
+}
+
+// admit runs Critical-tier admission control for one demand request.
+// Below Critical — or for an embedded-object request of a session that
+// already has a backend (its page was admitted; refusing its images
+// only breaks a response already promised) — the request is admitted
+// unconditionally. At Critical it takes a gate slot, waiting in the
+// bounded accept queue up to QueueTimeout if the gate is full. False
+// means the request was shed (counted, never proxied).
+func (d *Distributor) admit(sessionKey, path string) bool {
+	d.mu.Lock()
+	if d.gate == nil {
+		d.mu.Unlock()
+		return true
+	}
+	enforce := d.est.Tier() == overload.Critical
+	if enforce {
+		if st, ok := d.sessions[sessionKey]; ok && st.hasSrv && trace.IsEmbeddedPath(path) {
+			enforce = false
+		}
+	}
+	wait, ok := d.gate.Enter(enforce)
+	if !ok {
+		d.stats.Requests++
+		d.stats.Shed++
+		d.mu.Unlock()
+		return false
+	}
+	d.mu.Unlock()
+	if wait == nil {
+		return true
+	}
+	// Queued: wait outside the lock for a freed slot, bounded by the
+	// configured queue timeout.
+	t := time.NewTimer(d.ovcfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case <-wait:
+		return true
+	case <-t.C:
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.gate.Abandon(wait) {
+		// The slot was granted while the timer fired; keep it.
+		return true
+	}
+	d.stats.Requests++
+	d.stats.Shed++
+	return false
+}
+
+// reject answers a demand request the front-end refuses to proxy. shed
+// marks Critical-tier admission control (the response carries
+// ShedHeader so clients and load generators can tell it from a
+// failure); without it the refusal is the all-breakers-open fast 503.
+func (d *Distributor) reject(w http.ResponseWriter, shed bool) {
+	retry := 1
+	if d.gate != nil {
+		retry = d.ovcfg.RetryAfter
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	msg := "no healthy backend available"
+	if shed {
+		w.Header().Set(ShedHeader, "1")
+		msg = "overloaded, request shed"
+	}
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// gateLeave releases an admission slot for a request that never routed
+// (the all-breakers-open path).
+func (d *Distributor) gateLeave() {
+	if d.gate == nil {
+		return
+	}
+	d.mu.Lock()
+	d.gate.Leave()
+	d.mu.Unlock()
+}
+
+// overloadDone feeds one completed demand request back to the overload
+// layer: the estimator's latency signal and the gate's freed slot.
+func (d *Distributor) overloadDone(latency time.Duration) {
+	if d.est == nil {
+		return
+	}
+	d.mu.Lock()
+	d.est.End(time.Now(), latency)
+	d.gate.Leave()
+	d.mu.Unlock()
 }
 
 // ServeHTTP implements http.Handler. A failed attempt (backend 5xx or
@@ -600,10 +768,21 @@ func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
 // rather than delivered, the failed backend's state is invalidated, and
 // the request is re-proxied to a healthy backend within the retry
 // budget; the client only sees a failure when every attempt failed.
+// With overload control enabled the request first passes Critical-tier
+// admission; with every breaker open it is refused immediately.
 func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	key, path := r.RemoteAddr, r.URL.Path
-	server, jobs := d.route(key, path)
+	if !d.admit(key, path) {
+		d.reject(w, true)
+		return
+	}
+	server, jobs, routed := d.route(key, path)
+	if !routed {
+		d.gateLeave()
+		d.reject(w, false)
+		return
+	}
 	d.enqueuePrefetch(jobs)
 	retries := 0
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
@@ -627,12 +806,14 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		server = next
 	}
+	latency := time.Since(start)
+	d.overloadDone(latency)
 	if d.cfg.Observe != nil {
 		d.cfg.Observe(Observation{
 			Backend: server,
 			Path:    path,
 			Status:  rec.status,
-			Latency: time.Since(start),
+			Latency: latency,
 		})
 	}
 }
@@ -819,6 +1000,38 @@ func (d *Distributor) Stats() Stats {
 	s := d.stats
 	s.PerBackend = append([]int64(nil), d.stats.PerBackend...)
 	return s
+}
+
+// OverloadState is the overload layer's observable state as exposed on
+// the cluster stats endpoint and consumed by the load generator.
+type OverloadState struct {
+	// Tier is the current degrade-ladder position.
+	Tier string `json:"tier"`
+	// Pressure is the load estimate (1.0 = at capacity).
+	Pressure float64 `json:"pressure"`
+	// InFlight is the admission gate's admitted-request count.
+	InFlight int `json:"in_flight"`
+	// Queued is the Critical-tier accept queue's occupancy.
+	Queued int `json:"queued"`
+	// Transitions is the ladder history since the first request.
+	Transitions []overload.Transition `json:"transitions"`
+}
+
+// Overload returns the overload layer's snapshot, or nil when the layer
+// is disabled.
+func (d *Distributor) Overload() *OverloadState {
+	if d.est == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &OverloadState{
+		Tier:        d.est.Tier().String(),
+		Pressure:    d.est.Pressure(),
+		InFlight:    d.gate.InFlight(),
+		Queued:      d.gate.Queued(),
+		Transitions: d.est.Transitions(),
+	}
 }
 
 // Health returns per-backend breaker snapshots in backend order.

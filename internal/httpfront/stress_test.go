@@ -317,4 +317,11 @@ func TestStressPrefetchHintDelivery(t *testing.T) {
 		t.Errorf("backends received %d prefetches, front-end admitted only %d (duplicated hints)",
 			backendPrefetches, st.Prefetches)
 	}
+	// Queue drops are counted, never silent: delivered + dropped can't
+	// exceed admissions either (hints in flight at Close account for any
+	// remainder).
+	if backendPrefetches+st.PrefetchHintsDropped > st.Prefetches {
+		t.Errorf("delivered %d + dropped %d exceeds admitted %d hints",
+			backendPrefetches, st.PrefetchHintsDropped, st.Prefetches)
+	}
 }

@@ -18,6 +18,7 @@ var simulatedTimePackages = []string{
 	"internal/policy",
 	"internal/replicate",
 	"internal/health",
+	"internal/overload",
 }
 
 // wallClockAllowedFiles carves per-file allowances out of covered

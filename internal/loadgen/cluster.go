@@ -109,6 +109,7 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 		Retries:       h.cfg.FrontRetries,
 		ProbeInterval: h.cfg.ProbeInterval,
 		ProbeSeed:     h.cfg.Seed,
+		Overload:      h.cfg.Overload,
 	}
 	if polName == "PRORD" {
 		cfg.Miner = h.freshMiner()

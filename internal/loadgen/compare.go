@@ -59,6 +59,7 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		Features: feats,
 		Miner:    miner,
 		Failures: fails,
+		Overload: h.cfg.Overload,
 	})
 	if err != nil {
 		return nil, err
@@ -68,10 +69,14 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		return nil, err
 	}
 	sim := &metrics.SimComparison{
-		ThroughputRPS: metrics.Round(res.Throughput, 1),
-		MeanUS:        res.MeanResponse.Microseconds(),
-		HitRate:       metrics.Round(res.HitRate, 3),
-		Failovers:     res.Metrics.Failovers,
+		ThroughputRPS:    metrics.Round(res.Throughput, 1),
+		MeanUS:           res.MeanResponse.Microseconds(),
+		HitRate:          metrics.Round(res.HitRate, 3),
+		Failovers:        res.Metrics.Failovers,
+		Shed:             res.Metrics.Shed,
+		PrefetchShed:     res.Metrics.PrefetchShed,
+		ReplicationsShed: res.Metrics.ReplicationsShed,
+		TierTransitions:  tierTransitions(res.TierTransitions),
 	}
 	sim.ThroughputDeltaPct = metrics.DeltaPct(live.ThroughputRPS, sim.ThroughputRPS)
 	sim.MeanLatencyDeltaPct = metrics.DeltaPct(float64(live.Latency.MeanUS), float64(sim.MeanUS))

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"prord/internal/health"
+	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/trace"
 )
@@ -114,6 +115,12 @@ type Config struct {
 	// Rate is the aggregate open-loop arrival rate in requests/second.
 	// Required (positive) in open mode, ignored in closed mode.
 	Rate float64
+	// RampTo, when positive, turns the open-loop schedule into a linear
+	// rate ramp: the aggregate arrival rate starts at Rate and reaches
+	// RampTo at the end of Duration. Zero keeps the flat Poisson
+	// schedule (and the byte-identical arrival streams of older seeds).
+	// Open mode only.
+	RampTo float64
 	// Workers is the number of open-loop client connections the schedule
 	// is partitioned over. Default 8.
 	Workers int
@@ -170,6 +177,12 @@ type Config struct {
 	// request (httpfront.Config.Retries): 0 means the front-end default
 	// of one retry, negative disables retries.
 	FrontRetries int
+
+	// Overload enables the front-end's load estimator, degrade ladder and
+	// admission control (httpfront.Config.Overload); with CompareSim the
+	// same configuration drives the simulator's overload mirror so shed
+	// counts and tier transitions can be compared. Nil disables both.
+	Overload *overload.Config
 
 	// CompareSim runs the discrete-event simulator on the same workload
 	// and policy after each live run and attaches live-vs-sim deltas.
@@ -239,6 +252,9 @@ func (c Config) Validate() error {
 	if c.Duration <= c.Warmup {
 		return fmt.Errorf("loadgen: duration (%v) must exceed warmup (%v)", c.Duration, c.Warmup)
 	}
+	if c.RampTo < 0 {
+		return fmt.Errorf("loadgen: ramp-to rate must not be negative, got %v", c.RampTo)
+	}
 	switch c.Mode {
 	case OpenLoop:
 		if c.Rate <= 0 {
@@ -248,6 +264,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("loadgen: workers must be positive, got %d", c.Workers)
 		}
 	case ClosedLoop:
+		if c.RampTo > 0 {
+			return fmt.Errorf("loadgen: rate ramp requires open mode")
+		}
 		if c.Sessions <= 0 {
 			return fmt.Errorf("loadgen: sessions must be positive, got %d", c.Sessions)
 		}
@@ -271,6 +290,11 @@ func (c Config) Validate() error {
 	}
 	if c.ProbeInterval < 0 {
 		return fmt.Errorf("loadgen: probe interval must not be negative, got %v", c.ProbeInterval)
+	}
+	if c.Overload != nil {
+		if err := c.Overload.WithDefaults().Validate(); err != nil {
+			return err
+		}
 	}
 	return validateFaults(c.Faults, c.Backends)
 }

@@ -23,6 +23,7 @@ type configJSON struct {
 	Policies      []string `json:"policies"`
 	Backends      int      `json:"backends"`
 	RateRPS       float64  `json:"rate_rps,omitempty"`
+	RampToRPS     float64  `json:"ramp_to_rps,omitempty"`
 	Workers       int      `json:"workers,omitempty"`
 	Sessions      int      `json:"sessions,omitempty"`
 	Concurrency   int      `json:"concurrency,omitempty"`
@@ -40,7 +41,21 @@ type configJSON struct {
 	Faults          []faultJSON `json:"faults,omitempty"`
 	ProbeIntervalMS int64       `json:"probe_interval_ms,omitempty"`
 	FrontRetries    int         `json:"front_retries,omitempty"`
-	CompareSim      bool        `json:"compare_sim"`
+	// Overload echoes the effective (defaulted) overload configuration;
+	// omitted when overload control is off so older artifacts are
+	// unchanged.
+	Overload   *overloadJSON `json:"overload,omitempty"`
+	CompareSim bool          `json:"compare_sim"`
+}
+
+// overloadJSON is the stable echo of the overload configuration.
+type overloadJSON struct {
+	CapacityPerBackend int     `json:"capacity_per_backend"`
+	QueueLimit         int     `json:"queue_limit"`
+	ElevatedAt         float64 `json:"elevated_at"`
+	SaturatedAt        float64 `json:"saturated_at"`
+	CriticalAt         float64 `json:"critical_at"`
+	MinHoldMS          int64   `json:"min_hold_ms"`
 }
 
 // faultJSON is the stable echo of one scheduled backend outage.
@@ -78,9 +93,21 @@ func (r *Result) Artifact() *metrics.BenchArtifact {
 			Backend: f.Backend, AtMS: f.At.Milliseconds(), RecoverMS: f.RecoverAt.Milliseconds(),
 		})
 	}
+	if oc := r.Config.Overload; oc != nil {
+		eff := oc.WithDefaults()
+		cfg.Overload = &overloadJSON{
+			CapacityPerBackend: eff.CapacityPerBackend,
+			QueueLimit:         eff.QueueLimit,
+			ElevatedAt:         eff.ElevatedAt,
+			SaturatedAt:        eff.SaturatedAt,
+			CriticalAt:         eff.CriticalAt,
+			MinHoldMS:          eff.MinHold.Milliseconds(),
+		}
+	}
 	switch r.Config.Mode {
 	case OpenLoop:
 		cfg.RateRPS = r.Config.Rate
+		cfg.RampToRPS = r.Config.RampTo
 		cfg.Workers = r.Config.Workers
 	case ClosedLoop:
 		cfg.Sessions = r.Config.Sessions
@@ -119,6 +146,13 @@ func (r *Result) WriteTable(w io.Writer) error {
 		if run.Failovers > 0 || run.Retries > 0 {
 			if _, err := fmt.Fprintf(w, "%-16s failovers=%d retries=%d\n",
 				"  fault-tolerance", run.Failovers, run.Retries); err != nil {
+				return err
+			}
+		}
+		if run.Shed > 0 || run.PrefetchShed > 0 {
+			if _, err := fmt.Fprintf(w, "%-16s shed=%d prefetch_shed=%d goodput=%.1f req/s tiers=%d\n",
+				"  overload", run.Shed, run.PrefetchShed, run.GoodputRPS,
+				len(run.TierTransitions)); err != nil {
 				return err
 			}
 		}

@@ -7,15 +7,44 @@ import (
 	"sync"
 	"time"
 
+	"prord/internal/httpfront"
 	"prord/internal/metrics"
+	"prord/internal/overload"
 )
 
+// sessionClient builds one replayed session's HTTP client. Each session
+// gets its own transport: the distributor tracks sessions by keep-alive
+// connection, and the shared http.DefaultTransport caps idle connections
+// per host at two, so concurrent workers sharing it would evict each
+// other's connections and fragment every session into many short ones —
+// breaking both locality routing and the admission controller's
+// in-progress-session bypass.
+func sessionClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{}}
+}
+
+// tierTransitions converts the estimator's ladder history to the
+// artifact's stable representation (integer milliseconds, tier names).
+func tierTransitions(ts []overload.Transition) []metrics.TierTransition {
+	var out []metrics.TierTransition
+	for _, t := range ts {
+		out = append(out, metrics.TierTransition{
+			AtMS: t.At.Milliseconds(),
+			From: t.From.String(),
+			To:   t.To.String(),
+		})
+	}
+	return out
+}
+
 // liveStats is what the client workers measure: latency histograms
-// split by warmup vs measurement window, plus error and timing totals.
+// split by warmup vs measurement window, plus error, shed and timing
+// totals.
 type liveStats struct {
 	warm    metrics.Histogram
 	meas    metrics.Histogram
 	errors  int64
+	shed    int64
 	elapsed time.Duration
 }
 
@@ -25,6 +54,7 @@ type workerLocal struct {
 	warm   metrics.Histogram
 	meas   metrics.Histogram
 	errors int64
+	shed   int64
 }
 
 // merge folds per-worker accumulators into campaign totals.
@@ -34,28 +64,37 @@ func merge(locals []workerLocal, elapsed time.Duration) *liveStats {
 		out.warm.Merge(&locals[i].warm)
 		out.meas.Merge(&locals[i].meas)
 		out.errors += locals[i].errors
+		out.shed += locals[i].shed
 	}
 	return out
 }
 
 // fetch issues one GET and fully consumes the response. Transport
-// failures and non-2xx statuses count as errors.
-func fetch(client *http.Client, url string) (time.Duration, error) {
+// failures and non-2xx statuses count as errors — except a 503 carrying
+// the front-end's shed marker, which is the admission controller doing
+// its job under overload: those are reported as shed, not errored, and
+// contribute no latency sample.
+func fetch(client *http.Client, url string) (lat time.Duration, shed bool, err error) {
 	t0 := time.Now()
 	resp, err := client.Get(url)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
+	shedResp := resp.StatusCode == http.StatusServiceUnavailable &&
+		resp.Header.Get(httpfront.ShedHeader) != ""
 	resp.Body.Close()
 	d := time.Since(t0)
 	if err != nil {
-		return 0, err
+		return 0, false, err
+	}
+	if shedResp {
+		return 0, true, nil
 	}
 	if resp.StatusCode >= 300 {
-		return 0, fmt.Errorf("loadgen: GET %s: status %d", url, resp.StatusCode)
+		return 0, false, fmt.Errorf("loadgen: GET %s: status %d", url, resp.StatusCode)
 	}
-	return d, nil
+	return d, false, nil
 }
 
 // runOpen replays the precomputed open-loop schedule: each worker walks
@@ -73,16 +112,20 @@ func (h *Harness) runOpen(frontURL string, start time.Time) *liveStats {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			client := &http.Client{}
+			client := sessionClient()
 			defer client.CloseIdleConnections()
 			l := &locals[w]
 			for _, a := range h.open[w] {
 				if d := time.Until(start.Add(a.at)); d > 0 {
 					time.Sleep(d)
 				}
-				lat, err := fetch(client, frontURL+h.eval.Requests[a.idx].Path)
+				lat, shed, err := fetch(client, frontURL+h.eval.Requests[a.idx].Path)
 				if err != nil {
 					l.errors++
+					continue
+				}
+				if shed {
+					l.shed++
 					continue
 				}
 				if a.at < h.cfg.Warmup {
@@ -117,7 +160,7 @@ func (h *Harness) runClosed(frontURL string, start time.Time) *liveStats {
 				if !time.Now().Before(deadline) {
 					return
 				}
-				client := &http.Client{}
+				client := sessionClient()
 				for i, idx := range h.scripts[s].Reqs {
 					req := &h.eval.Requests[idx]
 					// Users pause before following a link; embedded
@@ -129,9 +172,13 @@ func (h *Harness) runClosed(frontURL string, start time.Time) *liveStats {
 						break
 					}
 					t0 := time.Now()
-					lat, err := fetch(client, frontURL+req.Path)
+					lat, shed, err := fetch(client, frontURL+req.Path)
 					if err != nil {
 						l.errors++
+						continue
+					}
+					if shed {
+						l.shed++
 						continue
 					}
 					if t0.Before(warmEnd) {
@@ -197,6 +244,7 @@ func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metri
 		Requests:       live.meas.Count(),
 		WarmupRequests: live.warm.Count(),
 		Errors:         live.errors,
+		Shed:           live.shed,
 		Latency:        live.meas.Summary(),
 	}
 	front := c.obs.summary()
@@ -218,6 +266,16 @@ func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metri
 	run.Prefetches = st.Prefetches
 	run.Failovers = st.Failovers
 	run.Retries = st.Retries
+	run.PrefetchShed = st.PrefetchShed
+	run.PrefetchHintsDropped = st.PrefetchHintsDropped
+	if h.cfg.Overload != nil {
+		// With admission control on, throughput of successfully served
+		// requests is the run's goodput — the headline overload metric.
+		run.GoodputRPS = run.ThroughputRPS
+		if ov := c.dist.Overload(); ov != nil {
+			run.TierTransitions = tierTransitions(ov.Transitions)
+		}
+	}
 	if st.Requests > 0 {
 		run.DispatchPerRequest = metrics.Round(float64(st.Dispatches)/float64(st.Requests), 3)
 	}

@@ -151,23 +151,44 @@ func (h *Harness) Workload() Workload {
 // deterministic function of the seed alone. Request paths are drawn by
 // sampling eval request indices uniformly, which reproduces the trace's
 // empirical popularity distribution.
+//
+// With RampTo set the schedule becomes an inhomogeneous Poisson process
+// via thinning: candidates are drawn at the peak rate and each is kept
+// with probability rate(t)/peak, where rate(t) ramps linearly from Rate
+// to RampTo across Duration. The RampTo == 0 path draws exactly the
+// random sequence older versions drew, so flat schedules stay
+// byte-identical across versions for a given seed.
 func openSchedule(cfg Config, evalLen int) [][]arrival {
 	root := randutil.New(cfg.Seed)
 	srcs := make([]*randutil.Source, cfg.Workers)
 	for i := range srcs {
 		srcs[i] = root.Split()
 	}
-	// Each worker carries 1/Workers of the aggregate rate.
-	meanGap := float64(time.Second) * float64(cfg.Workers) / cfg.Rate
+	peak := cfg.Rate
+	if cfg.RampTo > peak {
+		peak = cfg.RampTo
+	}
+	// Each worker carries 1/Workers of the aggregate (peak) rate.
+	meanGap := float64(time.Second) * float64(cfg.Workers) / peak
 	scheds := make([][]arrival, cfg.Workers)
 	for w, src := range srcs {
 		at := time.Duration(src.Exp(meanGap))
 		for at < cfg.Duration {
-			scheds[w] = append(scheds[w], arrival{at: at, idx: src.Intn(evalLen)})
+			if cfg.RampTo <= 0 || src.Float64()*peak < rampRate(cfg, at) {
+				scheds[w] = append(scheds[w], arrival{at: at, idx: src.Intn(evalLen)})
+			}
 			at += time.Duration(src.Exp(meanGap))
 		}
 	}
 	return scheds
+}
+
+// rampRate is the target aggregate arrival rate at offset t into a
+// ramped run: linear interpolation from Rate at t=0 to RampTo at
+// t=Duration.
+func rampRate(cfg Config, t time.Duration) float64 {
+	frac := float64(t) / float64(cfg.Duration)
+	return cfg.Rate + (cfg.RampTo-cfg.Rate)*frac
 }
 
 // computeDigest fingerprints the offered workload with FNV-64a: mode,

@@ -53,6 +53,17 @@ type BackendSample struct {
 	BreakerTrips int64 `json:"breaker_trips"`
 }
 
+// TierTransition is one overload degrade-ladder move in artifact form:
+// a millisecond offset from the first request plus the tier names. Sim
+// transitions are deterministic (virtual time) and covered by the
+// byte-stability guarantee; live transitions are measured wall-clock
+// quantities and are not.
+type TierTransition struct {
+	AtMS int64  `json:"at_ms"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
 // SimComparison is the live-vs-simulated delta block of a run: the same
 // trace and policy executed on the discrete-event cluster model, and the
 // relative differences of the headline metrics.
@@ -70,6 +81,21 @@ type SimComparison struct {
 	// dead backend instantly), so this is expected to undercount the
 	// live front-end's figure, which masks every failed attempt.
 	Failovers int64 `json:"failovers"`
+	// Shed counts simulated demand requests refused by Critical-tier
+	// admission control. The simulator models the live accept queue as
+	// in-flight headroom, so this agrees with the live figure only
+	// within the tolerance documented in DESIGN.md §5e (same order of
+	// magnitude under sustained overload), not exactly.
+	Shed int64 `json:"shed,omitempty"`
+	// PrefetchShed counts simulated proactive passes suppressed at
+	// Elevated tier or above.
+	PrefetchShed int64 `json:"prefetch_shed,omitempty"`
+	// ReplicationsShed counts simulated replication rounds skipped at
+	// Elevated tier or above.
+	ReplicationsShed int64 `json:"replications_shed,omitempty"`
+	// TierTransitions is the simulator's degrade-ladder history; it is
+	// deterministic and part of the byte-stability guarantee.
+	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
 }
 
 // BenchRun is one measured cell of a benchmark artifact (one policy on
@@ -108,6 +134,25 @@ type BenchRun struct {
 	Retries int64 `json:"retries"`
 	// Prefetches counts prefetch hints issued by the front-end.
 	Prefetches int64 `json:"prefetches,omitempty"`
+	// GoodputRPS is successfully answered demand requests per second of
+	// measurement. Only set on runs with overload control enabled, where
+	// the offered load (goodput + shed) exceeds it; without shedding it
+	// would duplicate ThroughputRPS.
+	GoodputRPS float64 `json:"goodput_rps,omitempty"`
+	// Shed counts demand requests refused with 503 by Critical-tier
+	// admission control (clients saw Retry-After, not an error).
+	Shed int64 `json:"shed,omitempty"`
+	// PrefetchShed counts proactive prefetch passes the front-end
+	// suppressed at Elevated tier or above.
+	PrefetchShed int64 `json:"prefetch_shed,omitempty"`
+	// PrefetchHintsDropped counts prefetch hints lost to a full hint
+	// queue (distinct from PrefetchShed, which never generated the hint).
+	PrefetchHintsDropped int64 `json:"prefetch_hints_dropped,omitempty"`
+	// TierTransitions is the live front-end's degrade-ladder history.
+	// Offsets are measured wall-clock quantities, excluded from the
+	// byte-stability guarantee (the simulator's deterministic ladder is
+	// under Sim).
+	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
 	// Backends holds per-backend request counts and hit rates in backend
 	// order.
 	Backends []BackendSample `json:"backends,omitempty"`

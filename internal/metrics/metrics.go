@@ -163,6 +163,15 @@ type Collector struct {
 	Failovers int64
 	// Failed counts requests dropped because no backend was alive.
 	Failed int64
+	// Shed counts demand requests refused by Critical-tier admission
+	// control (the overload degrade ladder's last rung).
+	Shed int64
+	// PrefetchShed counts proactive prefetch passes suppressed while the
+	// cluster sat at Elevated tier or above.
+	PrefetchShed int64
+	// ReplicationsShed counts replication refresh rounds skipped at
+	// Elevated tier or above.
+	ReplicationsShed int64
 	// BytesServed totals response bytes delivered to clients.
 	BytesServed int64
 	// DynamicServed counts requests for generated (uncacheable) content;

@@ -1,0 +1,80 @@
+package overload
+
+// Gate is the Critical-tier admission control: a bounded in-flight
+// count plus a small bounded FIFO accept queue. It is clockless — the
+// caller owns queue-wait timeouts — and, like the estimator, not
+// goroutine-safe: the owner serializes every method behind its own
+// mutex. Queue grants are delivered by closing the channel Enter
+// returned, which the caller waits on outside that mutex.
+type Gate struct {
+	limit      int
+	queueLimit int
+	inflight   int
+	queue      []chan struct{}
+}
+
+// NewGate builds a gate admitting up to limit concurrent requests with
+// up to queueLimit more waiting.
+func NewGate(limit, queueLimit int) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	if queueLimit < 0 {
+		queueLimit = 0
+	}
+	return &Gate{limit: limit, queueLimit: queueLimit}
+}
+
+// Enter asks to admit one request. With enforce false (tiers below
+// Critical, or a bypassed embedded-object request) the request is
+// always admitted and only counted. With enforce true the request is
+// admitted while under the in-flight limit, queued while the accept
+// queue has room — the returned channel is closed when a slot frees —
+// and otherwise refused (nil, false). Every admitted or granted request
+// must be paired with exactly one Leave.
+func (g *Gate) Enter(enforce bool) (wait chan struct{}, ok bool) {
+	if !enforce || g.inflight < g.limit {
+		g.inflight++
+		return nil, true
+	}
+	if len(g.queue) < g.queueLimit {
+		ch := make(chan struct{})
+		g.queue = append(g.queue, ch)
+		return ch, true
+	}
+	return nil, false
+}
+
+// Leave releases one admitted request's slot. If the queue is
+// non-empty the slot passes straight to its head (the in-flight count
+// is unchanged); otherwise the count drops.
+func (g *Gate) Leave() {
+	if len(g.queue) > 0 {
+		ch := g.queue[0]
+		g.queue = g.queue[1:]
+		close(ch)
+		return
+	}
+	if g.inflight > 0 {
+		g.inflight--
+	}
+}
+
+// Abandon withdraws a queued request after its wait timed out. It
+// reports whether the request was still queued: false means the slot
+// was already granted — the caller owns it and must Leave as usual.
+func (g *Gate) Abandon(wait chan struct{}) bool {
+	for i, ch := range g.queue {
+		if ch == wait {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight returns the admitted requests currently in flight.
+func (g *Gate) InFlight() int { return g.inflight }
+
+// Queued returns the requests waiting in the accept queue.
+func (g *Gate) Queued() int { return len(g.queue) }

@@ -1,0 +1,272 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is a tiny synthetic wall clock for driving the estimator.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time { return c.t }
+
+func (c *clock) advance(d time.Duration) time.Time {
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+func newClock() *clock { return &clock{t: time.Time{}.Add(time.Hour)} }
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.CapacityPerBackend != 64 || c.QueueLimit != 16 || c.RetryAfter != 1 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if !(c.ElevatedAt < c.SaturatedAt && c.SaturatedAt < c.CriticalAt) {
+		t.Fatalf("default thresholds not increasing: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaults should validate: %v", err)
+	}
+	if got := (Config{QueueLimit: -1}).WithDefaults().QueueLimit; got != 0 {
+		t.Errorf("negative QueueLimit should disable the queue, got %d", got)
+	}
+	bad := []Config{
+		Config{ElevatedAt: 0.9, SaturatedAt: 0.8}.WithDefaults(),
+		Config{SaturatedAt: 1.5}.WithDefaults(),
+		Config{LatencyAlpha: 1.5}.WithDefaults(),
+		Config{DownMargin: 1.5}.WithDefaults(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should not validate: %+v", i, c)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	want := map[Tier]string{Normal: "normal", Elevated: "elevated", Saturated: "saturated", Critical: "critical"}
+	for tier, s := range want {
+		if tier.String() != s {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), tier.String(), s)
+		}
+	}
+}
+
+// TestEstimatorClimbsWithInFlight walks the in-flight count up through
+// every tier and checks the transition log records each move with the
+// right offsets.
+func TestEstimatorClimbsWithInFlight(t *testing.T) {
+	clk := newClock()
+	e := NewEstimator(Config{CapacityPerBackend: 4, MinHold: time.Hour}, 1)
+	if e.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", e.Capacity())
+	}
+	// 1 in flight: 0.25 pressure, Normal. 2: 0.5, Elevated. 3: 0.75,
+	// Saturated. 4: 1.0, Critical.
+	wantTiers := []Tier{Normal, Elevated, Saturated, Critical}
+	for i, want := range wantTiers {
+		e.Begin(clk.advance(10 * time.Millisecond))
+		if e.InFlight() != i+1 {
+			t.Fatalf("in flight = %d, want %d", e.InFlight(), i+1)
+		}
+		if e.Tier() != want {
+			t.Fatalf("after %d Begins tier = %v, want %v", i+1, e.Tier(), want)
+		}
+	}
+	tr := e.Transitions()
+	if len(tr) != 3 {
+		t.Fatalf("transitions = %v, want 3 moves", tr)
+	}
+	for i, mv := range tr {
+		if mv.From != Tier(i) || mv.To != Tier(i+1) {
+			t.Errorf("transition %d = %v→%v, want %v→%v", i, mv.From, mv.To, Tier(i), Tier(i+1))
+		}
+		if mv.At <= 0 {
+			t.Errorf("transition %d offset %v not positive", i, mv.At)
+		}
+		if i > 0 && mv.At < tr[i-1].At {
+			t.Errorf("transition offsets not monotone: %v", tr)
+		}
+	}
+}
+
+// TestEstimatorHysteresis checks steps down are held by MinHold, happen
+// one tier at a time, and require the margin below the entering
+// threshold.
+func TestEstimatorHysteresis(t *testing.T) {
+	clk := newClock()
+	e := NewEstimator(Config{CapacityPerBackend: 4, MinHold: 100 * time.Millisecond, DownMargin: 0.1}, 1)
+	for i := 0; i < 4; i++ {
+		e.Begin(clk.advance(time.Millisecond))
+	}
+	if e.Tier() != Critical {
+		t.Fatalf("tier = %v, want critical", e.Tier())
+	}
+	// Pressure drops to zero immediately, but MinHold pins the tier.
+	for i := 0; i < 4; i++ {
+		e.End(clk.advance(time.Millisecond), 0)
+	}
+	if e.Tier() != Critical {
+		t.Fatalf("tier dropped before MinHold: %v", e.Tier())
+	}
+	// After MinHold each re-tier steps down exactly one rung.
+	e.End(clk.advance(150*time.Millisecond), 0)
+	if e.Tier() != Saturated {
+		t.Fatalf("tier = %v, want saturated (one step down)", e.Tier())
+	}
+	e.End(clk.advance(150*time.Millisecond), 0)
+	e.End(clk.advance(150*time.Millisecond), 0)
+	if e.Tier() != Normal {
+		t.Fatalf("tier = %v, want normal after full descent", e.Tier())
+	}
+	// 3 in flight = 0.75 = Saturated; dropping to 2 (0.5) is NOT below
+	// 0.75*(1-0.1), so the ladder must hold Saturated... 0.5 < 0.675, so
+	// it does step. Use the margin band instead: hold at pressure just
+	// under the threshold.
+	e2 := NewEstimator(Config{CapacityPerBackend: 10, MinHold: time.Millisecond, DownMargin: 0.4}, 1)
+	clk2 := newClock()
+	for i := 0; i < 5; i++ {
+		e2.Begin(clk2.advance(time.Millisecond))
+	}
+	if e2.Tier() != Elevated {
+		t.Fatalf("tier = %v, want elevated", e2.Tier())
+	}
+	// 4 in flight = 0.4 pressure: below ElevatedAt (0.5) but not below
+	// 0.5*(1-0.4)=0.3, so the tier holds despite MinHold having passed.
+	e2.End(clk2.advance(50*time.Millisecond), 0)
+	if e2.Tier() != Elevated {
+		t.Fatalf("tier = %v, want elevated held by margin", e2.Tier())
+	}
+	// 2 in flight = 0.2 < 0.3: now it steps down.
+	e2.End(clk2.advance(50*time.Millisecond), 0)
+	e2.End(clk2.advance(50*time.Millisecond), 0)
+	if e2.Tier() != Normal {
+		t.Fatalf("tier = %v, want normal below margin", e2.Tier())
+	}
+}
+
+// TestEstimatorLatencySignal checks slow responses alone escalate the
+// ladder even with a near-empty pipeline.
+func TestEstimatorLatencySignal(t *testing.T) {
+	clk := newClock()
+	e := NewEstimator(Config{CapacityPerBackend: 1000, TargetLatency: 100 * time.Millisecond, LatencyAlpha: 1}, 4)
+	e.Begin(clk.advance(time.Millisecond))
+	e.End(clk.advance(time.Millisecond), 120*time.Millisecond)
+	if e.Tier() != Critical {
+		t.Fatalf("tier = %v, want critical from latency signal (pressure %v)", e.Tier(), e.Pressure())
+	}
+	if p := e.Pressure(); p < 1.0 {
+		t.Errorf("pressure = %v, want >= 1.0", p)
+	}
+}
+
+// TestEstimatorUpSkipsTiers checks a pressure spike jumps straight to
+// the tier it calls for rather than climbing one rung per event.
+func TestEstimatorUpSkipsTiers(t *testing.T) {
+	clk := newClock()
+	e := NewEstimator(Config{CapacityPerBackend: 1000, TargetLatency: 10 * time.Millisecond, LatencyAlpha: 1}, 1)
+	e.Begin(clk.advance(time.Millisecond))
+	e.End(clk.advance(time.Millisecond), 8*time.Millisecond) // 0.8 → Saturated directly
+	if e.Tier() != Saturated {
+		t.Fatalf("tier = %v, want saturated", e.Tier())
+	}
+	tr := e.Transitions()
+	if len(tr) != 1 || tr[0].From != Normal || tr[0].To != Saturated {
+		t.Fatalf("transitions = %v, want one normal→saturated move", tr)
+	}
+}
+
+func TestGateAdmitQueueRefuse(t *testing.T) {
+	g := NewGate(2, 1)
+	if _, ok := g.Enter(true); !ok {
+		t.Fatal("first request refused")
+	}
+	if _, ok := g.Enter(true); !ok {
+		t.Fatal("second request refused under limit")
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", g.InFlight())
+	}
+	// Third queues, fourth is refused.
+	wait, ok := g.Enter(true)
+	if !ok || wait == nil {
+		t.Fatalf("third request: wait=%v ok=%v, want queued", wait, ok)
+	}
+	if g.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", g.Queued())
+	}
+	if ch, ok := g.Enter(true); ok || ch != nil {
+		t.Fatal("fourth request admitted past the queue limit")
+	}
+	// A Leave hands the slot to the queue head without dropping the
+	// in-flight count.
+	g.Leave()
+	select {
+	case <-wait:
+	default:
+		t.Fatal("queued request not granted after Leave")
+	}
+	if g.InFlight() != 2 || g.Queued() != 0 {
+		t.Fatalf("after grant: inflight=%d queued=%d, want 2/0", g.InFlight(), g.Queued())
+	}
+	g.Leave()
+	g.Leave()
+	if g.InFlight() != 0 {
+		t.Fatalf("in flight = %d, want 0 after draining", g.InFlight())
+	}
+}
+
+func TestGateBypassNotEnforced(t *testing.T) {
+	g := NewGate(1, 0)
+	if _, ok := g.Enter(true); !ok {
+		t.Fatal("first request refused")
+	}
+	// Non-enforced entries (embedded-object bypass, lower tiers) are
+	// always admitted, even past the limit — but still counted so Leave
+	// stays balanced.
+	if _, ok := g.Enter(false); !ok {
+		t.Fatal("bypass request refused")
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", g.InFlight())
+	}
+	if _, ok := g.Enter(true); ok {
+		t.Fatal("enforced request admitted with no queue and full gate")
+	}
+	g.Leave()
+	g.Leave()
+	if g.InFlight() != 0 {
+		t.Fatalf("in flight = %d, want 0", g.InFlight())
+	}
+}
+
+func TestGateAbandon(t *testing.T) {
+	g := NewGate(1, 2)
+	g.Enter(true)
+	w1, _ := g.Enter(true)
+	w2, _ := g.Enter(true)
+	if g.Queued() != 2 {
+		t.Fatalf("queued = %d, want 2", g.Queued())
+	}
+	// Abandoning a queued request removes it; the later entry keeps its
+	// FIFO position.
+	if !g.Abandon(w1) {
+		t.Fatal("abandon of a queued request reported already-granted")
+	}
+	g.Leave()
+	select {
+	case <-w2:
+	default:
+		t.Fatal("remaining queued request not granted")
+	}
+	// w2's slot was granted, so abandoning it now must report false and
+	// the caller keeps the slot.
+	if g.Abandon(w2) {
+		t.Fatal("abandon of a granted request reported queued")
+	}
+	g.Leave()
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}

@@ -1,10 +1,33 @@
 package policy
 
-// unavailableLoad is the load reported for an excluded backend: large
+// UnavailableLoad is the load reported for an excluded backend: large
 // enough that every load comparison avoids it, with headroom so adding
 // real queue depth cannot overflow. The cluster model uses the same
-// sentinel for crashed servers.
-const unavailableLoad = int(^uint(0) >> 2)
+// sentinel for crashed servers, and AllExcluded recognizes a view where
+// it is all that remains.
+const UnavailableLoad = int(^uint(0) >> 2)
+
+// unavailableLoad is kept as the package-internal spelling.
+const unavailableLoad = UnavailableLoad
+
+// AllExcluded reports whether the view has no routable backend at all:
+// every server's load reads as the UnavailableLoad sentinel (the whole
+// cluster is crashed or breaker-blocked). Policies route load-blind or
+// least-bad in that state, so a caller that would otherwise retry into
+// a dead cluster should check this first and fail fast instead — the
+// live front-end answers 503 immediately.
+func AllExcluded(v View) bool {
+	n := v.NumServers()
+	if n == 0 {
+		return true
+	}
+	for i := 0; i < n; i++ {
+		if v.Load(i) < UnavailableLoad {
+			return false
+		}
+	}
+	return true
+}
 
 // Restrict wraps a View so backends for which excluded returns true are
 // invisible to the policy: their load reads as unavailableLoad, they are

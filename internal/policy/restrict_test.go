@@ -52,6 +52,27 @@ func TestRestrictView(t *testing.T) {
 	}
 }
 
+// TestAllExcluded pins the all-backends-excluded sentinel: a Restrict
+// view that excludes everything must be recognizable so the front-end
+// 503s immediately instead of retrying into a dead cluster.
+func TestAllExcluded(t *testing.T) {
+	v := newFakeView(4, 1, 7)
+	if AllExcluded(v) {
+		t.Fatal("healthy view reported all-excluded")
+	}
+	if AllExcluded(Restrict(v, exclude(1))) {
+		t.Fatal("partially restricted view reported all-excluded")
+	}
+	if !AllExcluded(Restrict(v, exclude(0, 1, 2))) {
+		t.Fatal("fully restricted view not reported all-excluded")
+	}
+	// Nesting restrictions composes: excluding the remainder of a
+	// partially restricted view also reads as all-excluded.
+	if !AllExcluded(Restrict(Restrict(v, exclude(0)), exclude(1, 2))) {
+		t.Fatal("nested full restriction not reported all-excluded")
+	}
+}
+
 // TestRestrictSteersLoadAwarePolicies routes with every policy through a
 // Restrict view that excludes backend 0; the load-aware family must never
 // choose it, and WRR (load-blind by design) is allowed to — the front-end

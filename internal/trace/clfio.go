@@ -154,9 +154,18 @@ func FromCLF(name string, entries []clf.Entry, opt SessionizeOptions) *Trace {
 
 // ReadCLF reads a whole CLF stream and sessionizes it into a trace.
 func ReadCLF(name string, r io.Reader, opt SessionizeOptions) (*Trace, error) {
-	entries, err := clf.NewReader(r).ReadAll()
+	t, _, err := ReadCLFSkipped(name, r, opt)
+	return t, err
+}
+
+// ReadCLFSkipped is ReadCLF plus the parser's malformed-line count: the
+// reader drops lines it cannot parse rather than failing the stream, and
+// callers validating log quality need to know how many it dropped.
+func ReadCLFSkipped(name string, r io.Reader, opt SessionizeOptions) (*Trace, int, error) {
+	cr := clf.NewReader(r)
+	entries, err := cr.ReadAll()
 	if err != nil {
-		return nil, err
+		return nil, cr.Skipped(), err
 	}
-	return FromCLF(name, entries, opt), nil
+	return FromCLF(name, entries, opt), cr.Skipped(), nil
 }

@@ -130,3 +130,28 @@ func TestWriteCLFFormat(t *testing.T) {
 		t.Fatalf("first exported line unparseable: %v", err)
 	}
 }
+
+func TestReadCLFSkipped(t *testing.T) {
+	_, tr := smallTrace(t, 23)
+	var buf bytes.Buffer
+	if err := WriteCLF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave garbage the parser must drop without failing the stream.
+	dirty := "not a log line\n" + buf.String() + "also : not [parseable\n"
+	back, skipped, err := ReadCLFSkipped("dirty", strings.NewReader(dirty), DefaultSessionizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Errorf("parsed %d requests, want %d", len(back.Requests), len(tr.Requests))
+	}
+	// Clean stream: zero skipped, and ReadCLF agrees with ReadCLFSkipped.
+	_, skipped, err = ReadCLFSkipped("clean", bytes.NewReader(buf.Bytes()), DefaultSessionizeOptions())
+	if err != nil || skipped != 0 {
+		t.Errorf("clean stream: skipped = %d, err = %v; want 0, nil", skipped, err)
+	}
+}

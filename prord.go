@@ -244,10 +244,24 @@ type MiningSummary struct {
 	// BundledPages is the number of pages with a mined embedded-object
 	// bundle.
 	BundledPages int
+	// Skipped is the number of malformed log lines the parser dropped;
+	// a high ratio of Skipped to Requests means the mined model was
+	// built from a fraction of the actual traffic.
+	Skipped int
 	// TopFiles is the popularity head, most requested first.
 	TopFiles []string
 	// Bundles maps each bundled page to its mined embedded objects.
 	Bundles map[string][]string
+}
+
+// SkipRatio is the fraction of input lines the parser dropped as
+// malformed, out of the lines that produced requests plus the dropped
+// ones. Zero for a clean log.
+func (s *MiningSummary) SkipRatio() float64 {
+	if s.Skipped == 0 {
+		return 0
+	}
+	return float64(s.Skipped) / float64(s.Requests+s.Skipped)
 }
 
 // WorkloadAnalysis characterizes a trace the way trace-study papers do.
@@ -305,7 +319,7 @@ func SaveModel(w io.Writer, logStream io.Reader, order int) error {
 // MineLog sessionizes a Common Log Format stream and runs the full
 // web-log mining pass over it (navigation model, bundles, popularity).
 func MineLog(r io.Reader, order int) (*MiningSummary, error) {
-	tr, err := trace.ReadCLF("log", r, trace.DefaultSessionizeOptions())
+	tr, skipped, err := trace.ReadCLFSkipped("log", r, trace.DefaultSessionizeOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +336,7 @@ func MineLog(r io.Reader, order int) (*MiningSummary, error) {
 		Contexts:     m.Model.Contexts(),
 		Transitions:  m.Model.Observations(),
 		BundledPages: len(m.Bundles.Pages()),
+		Skipped:      skipped,
 		TopFiles:     m.Ranker.Top(20),
 		Bundles:      make(map[string][]string),
 	}

@@ -169,3 +169,33 @@ func TestAnalyzeLog(t *testing.T) {
 		t.Fatalf("session structure degenerate: %+v", a)
 	}
 }
+
+func TestMineLogSkipRatio(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteSyntheticTrace(&buf, "cs", 0.05, 7); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := MineLog(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Skipped != 0 || clean.SkipRatio() != 0 {
+		t.Errorf("clean log: Skipped = %d, ratio %v; want 0, 0", clean.Skipped, clean.SkipRatio())
+	}
+
+	dirty := "garbage line one\ngarbage line two\n" + buf.String()
+	sum, err := MineLog(strings.NewReader(dirty), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 2 {
+		t.Errorf("Skipped = %d, want 2", sum.Skipped)
+	}
+	if sum.Requests != clean.Requests {
+		t.Errorf("malformed lines changed the parsed request count: %d vs %d", sum.Requests, clean.Requests)
+	}
+	want := float64(2) / float64(sum.Requests+2)
+	if got := sum.SkipRatio(); got != want {
+		t.Errorf("SkipRatio = %v, want %v", got, want)
+	}
+}
