@@ -10,12 +10,15 @@
 #                detector (backend crashes, failover retry, breaker churn)
 #   make race-overload  overload-control stress tests under the race
 #                detector (admission gate, degrade ladder, rate ramps)
-#   make bench-smoke  short live-cluster loadgen run over all policies
+#   make race-dispatch  decision-core tests under the race detector
+#                (sim-vs-live differential replay, booking churn)
+#   make bench-smoke  dispatch decision-latency microbench plus a short
+#                live-cluster loadgen run over all policies
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint race-failover race-overload bench-smoke ci
+.PHONY: build test race vet lint race-failover race-overload race-dispatch bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,20 +44,32 @@ race-failover:
 		./internal/health/ ./internal/httpfront/ ./internal/loadgen/
 
 # The overload suite repeated under the race detector: estimator/tier
-# transitions, the Critical-tier admission gate, tiered shedding in the
-# live front-end and the simulator mirror, and the loadgen rate-ramp
+# transitions, the Critical-tier admission gate, tiered shedding
+# through both adapters of the decision core, and the loadgen rate-ramp
 # acceptance scenario. Already part of `make race`; this target runs it
 # alone, repeated, for hunting flakes in the overload path.
 race-overload:
 	$(GO) test -race -count=2 -run 'Overload|Admission|Shed|Tier|Gate|Ramp|Estimator' \
 		./internal/overload/ ./internal/httpfront/ ./internal/cluster/ ./internal/loadgen/
 
-# A ~30s live benchmark: open-loop load against 2 demo backends for each
-# of the three headline policies, with the simulator comparison attached.
-# Produces BENCH_loadgen.json (CI uploads it as an artifact).
+# The shared decision core's correctness suite under the race detector:
+# the sim-vs-live differential replay (byte-identical decision streams)
+# and the concurrent booking churn test, repeated for flake hunting.
+# Already part of `make race`; this target runs it alone.
+race-dispatch:
+	$(GO) test -race -count=2 -run 'Differential|Churn' ./internal/dispatch/
+
+# A ~30s benchmark pass: the decision core's Route/Done microbenchmarks
+# (with the latency distribution written as BENCH_dispatch.json in the
+# shared artifact schema), then open-loop load against 2 demo backends
+# for each of the three headline policies, with the simulator comparison
+# attached in BENCH_loadgen.json. CI uploads both artifacts.
 bench-smoke:
+	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.json $(GO) test \
+		-run TestDispatchBenchArtifact -bench 'BenchmarkDispatch' \
+		-benchtime 0.5s ./internal/dispatch/
 	$(GO) run ./cmd/prord-loadgen -mode open -policy WRR,LARD,PRORD \
 		-backends 2 -rate 300 -duration 10s -warmup 2s -seed 1 \
 		-scale 0.1 -out BENCH_loadgen.json
 
-ci: build vet lint race race-failover race-overload
+ci: build vet lint race race-failover race-overload race-dispatch

@@ -59,7 +59,7 @@ func main() {
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: front-end default)")
 		retries       = flag.Int("retries", 0, "failover retries per request (0: front-end default of 1, negative disables)")
 
-		overloadOn = flag.Bool("overload", false, "enable front-end overload control (degrade ladder + admission); mirrored in the simulator when -sim is set")
+		overloadOn = flag.Bool("overload", false, "enable front-end overload control (degrade ladder + admission); the sim comparison runs the same core ladder when -sim is set")
 		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend (0: default 64)")
 		queueLimit = flag.Int("overload-queue", 0, "accept-queue slots at Critical tier (0: default 16, negative disables queuing)")
 		minHold    = flag.Duration("overload-min-hold", 0, "minimum time at a tier before stepping down (0: default 1s)")

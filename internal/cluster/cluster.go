@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"prord/internal/cache"
+	"prord/internal/dispatch"
 	"prord/internal/metrics"
 	"prord/internal/mining"
 	"prord/internal/overload"
@@ -51,15 +52,19 @@ type Config struct {
 	// CPUSharing switches the backend CPUs from FCFS to processor
 	// sharing (time-sliced web server workers); disks stay FCFS.
 	CPUSharing bool
-	// Overload mirrors the live front-end's degrade ladder in the
-	// simulator, driven by virtual time: Elevated sheds prefetch and
-	// replication work, Saturated falls back to locality-only LARD, and
-	// Critical sheds demand requests past the admission limit. The live
-	// accept queue is modeled as in-flight headroom above the limit
-	// (queued live requests wait; simulated ones are admitted or shed),
-	// so live-vs-sim shed counts agree only within the tolerance
-	// documented in DESIGN.md §5e. Nil disables the layer.
+	// Overload enables the same degrade ladder the live front-end runs,
+	// driven by virtual time: Elevated sheds prefetch and replication
+	// work, Saturated falls back to locality-only LARD, and Critical runs
+	// bounded-queue admission. The shared dispatch core models the live
+	// accept queue directly — a queued request waits up to QueueTimeout
+	// of virtual time for a slot before it is shed — so simulated and
+	// live shed decisions follow the same code path. Nil disables the
+	// layer.
 	Overload *overload.Config
+	// Recorder, when non-nil, receives every decision the dispatch core
+	// makes, in decision order (differential testing against the live
+	// front-end).
+	Recorder func(dispatch.Record)
 }
 
 // Failure is one injected backend crash.
@@ -84,26 +89,25 @@ type backend struct {
 	served int64
 }
 
-// Cluster is a runnable simulated web cluster. Build one with New, run a
-// trace with Run; a Cluster is single-use.
+// Cluster is a runnable simulated web cluster: the exact-locality
+// adapter around the shared dispatch core. The core makes every routing
+// decision; the cluster models the substrate — virtual time, CPUs,
+// disks, the internal network, caches and power state — and reports
+// ground-truth residency back. Build one with New, run a trace with
+// Run; a Cluster is single-use.
 type Cluster struct {
 	cfg      Config
 	eng      *sim.Engine
 	backends []*backend
 	fronts   []*sim.FCFS
 
-	tracker *mining.Tracker
+	core    *dispatch.Core
 	replmgr *replicate.Manager
 
-	// Dispatcher and front-end routing state.
-	memory     map[string]map[int]bool // file -> backends holding it in memory
-	prefetched map[string]map[int]bool // file -> backends that prefetched it
-	replicas   map[string]map[int]bool // file -> backends holding Alg.3 replicas
-	inflight   map[string]map[int]int  // file -> backend -> outstanding count
-	lastServer map[int]int             // conn -> backend of previous request
-	lastPage   map[int]string          // conn -> previous main page
-	connPages  map[int][]string        // conn -> recent pages (group prefetch)
-	classified map[int]bool            // conn -> group prefetch already fired
+	// replicas tracks Algorithm 3's placements (file -> backends); the
+	// replication manager owns placement, the core only routes to them
+	// through the residency it is told about.
+	replicas map[string]map[int]bool
 	// waiters holds demand requests blocked on an in-flight prefetch of
 	// the same file at the same backend (keyed "file|server"), so demand
 	// traffic piggybacks on the prefetch disk read instead of issuing a
@@ -118,11 +122,6 @@ type Cluster struct {
 	firstArr  time.Duration // earliest request issue time
 	lastDone  time.Duration // latest completion time
 	ran       bool
-
-	// Overload mirror (nil/zero when Config.Overload is nil).
-	est        *overload.Estimator
-	fallback   policy.Policy // locality-only LARD for the Saturated tier
-	admitLimit int           // in-flight capacity + modeled accept queue
 }
 
 // New builds a cluster from cfg.
@@ -140,17 +139,10 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.ReplicationInterval = 5 * time.Second
 	}
 	c := &Cluster{
-		cfg:        cfg,
-		eng:        &sim.Engine{},
-		memory:     make(map[string]map[int]bool),
-		prefetched: make(map[string]map[int]bool),
-		replicas:   make(map[string]map[int]bool),
-		inflight:   make(map[string]map[int]int),
-		lastServer: make(map[int]int),
-		lastPage:   make(map[int]string),
-		connPages:  make(map[int][]string),
-		classified: make(map[int]bool),
-		waiters:    make(map[string][]func()),
+		cfg:      cfg,
+		eng:      &sim.Engine{},
+		replicas: make(map[string]map[int]bool),
+		waiters:  make(map[string][]func()),
 	}
 	total := cfg.Params.AppMemory + cfg.Params.PinnedMemory
 	maxPinned := cfg.Params.PinnedMemory
@@ -205,56 +197,93 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: failure times invalid (%v, %v)", f.At, f.RecoverAt)
 		}
 	}
-	if cfg.Features.NavPrefetch {
-		nav := cfg.Miner.Nav
-		if nav == nil {
-			nav = cfg.Miner.Model
-		}
-		c.tracker = mining.NewTracker(nav, true)
-	}
 	if cfg.Features.Replication {
 		c.replmgr = replicate.NewManager(cfg.Miner.Ranker, cfg.ReplicateConfig)
 	}
 	if cfg.Power.Enabled {
 		c.power = newPowerTracker(cfg.Power, cfg.Params.Backends)
 	}
-	if cfg.Overload != nil {
-		oc := cfg.Overload.WithDefaults()
-		if err := oc.Validate(); err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
-		c.est = overload.NewEstimator(oc, cfg.Params.Backends)
-		c.fallback = policy.NewLARD(policy.Thresholds{})
-		c.admitLimit = oc.CapacityPerBackend*cfg.Params.Backends + oc.QueueLimit
+
+	dcfg := dispatch.Config{
+		Backends: cfg.Params.Backends,
+		Policy:   cfg.Policy,
+		Miner:    cfg.Miner,
+		Features: dispatch.Features{
+			Bundle:        cfg.Features.Bundle,
+			NavPrefetch:   cfg.Features.NavPrefetch,
+			GroupPrefetch: cfg.Features.GroupPrefetch,
+		},
+		// The simulator reports ground-truth residency from its modeled
+		// caches; the core never guesses locality.
+		Exact: true,
+		// Replayed sessions are closed explicitly when their script ends;
+		// the idle-eviction valve must never fire mid-trace.
+		MaxSessions: 1 << 30,
+		// Single-threaded replay needs no lock striping, and one stripe
+		// keeps connection ids dense.
+		Shards: 1,
+		LoadOf: func(server int) int {
+			b := c.backends[server]
+			return b.cpu.QueueLen() + b.disk.QueueLen()
+		},
+		Available: func(server int, _ time.Time) bool { return !c.unavailable(server) },
+		NavBudget: func(server int) bool {
+			lim := c.cfg.Params.PrefetchQueueLimit
+			return lim <= 0 || c.backends[server].disk.QueueLen() <= lim
+		},
+		Prefetchable: func(file string) bool {
+			_, known := c.files[file]
+			return known
+		},
+		Overload: cfg.Overload,
+		Recorder: cfg.Recorder,
 	}
+	if cfg.Overload != nil {
+		// Saturated-tier routing degrades to locality-only LARD.
+		dcfg.Fallback = policy.NewLARD(policy.Thresholds{})
+	}
+	if cfg.Power.Enabled {
+		dcfg.WakeFallback = c.wakeFallback
+	}
+	core, err := dispatch.New(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c.core = core
 	return c, nil
 }
 
-// tier returns the overload mirror's current ladder position (Normal
-// when the layer is disabled).
-func (c *Cluster) tier() overload.Tier {
-	if c.est == nil {
-		return overload.Normal
-	}
-	return c.est.Tier()
-}
+// Core exposes the shared dispatch core (tests and diagnostics).
+func (c *Cluster) Core() *dispatch.Core { return c.core }
 
 // vnow maps the engine's virtual time onto the time.Time scale the
-// estimator's clock-injected API expects.
+// core's clock-injected API expects.
 func (c *Cluster) vnow() time.Time {
 	return time.Time{}.Add(c.eng.Now())
 }
 
-// crash takes a backend down: its memory is lost and the dispatcher
-// forgets everything about it.
+// wakeFallback is the core's last resort when no backend is available:
+// wake the lowest-index live sleeper (wake-on-demand, e.g. after the
+// last active backend crashed).
+func (c *Cluster) wakeFallback(time.Time) (int, bool) {
+	for i := range c.backends {
+		if c.down[i] || !c.power.asleep[i] {
+			continue
+		}
+		c.power.accrue(c.eng.Now())
+		c.power.asleep[i] = false
+		c.power.wakes++
+		c.backends[i].cpu.Schedule(c.power.params.WakeLatency, nil)
+		return i, true
+	}
+	return 0, false
+}
+
+// crash takes a backend down: its memory is lost and the core forgets
+// everything about it (residency, prefetch marks, session pins).
 func (c *Cluster) crash(server int) {
 	c.down[server] = true
-	for file := range c.memory {
-		delSet(c.memory, file, server)
-	}
-	for file := range c.prefetched {
-		delSet(c.prefetched, file, server)
-	}
+	c.core.InvalidateBackend(server)
 	for file := range c.replicas {
 		delSet(c.replicas, file, server)
 	}
@@ -263,12 +292,6 @@ func (c *Cluster) crash(server int) {
 	// file.
 	for file := range c.files {
 		c.backends[server].store.Remove(file)
-	}
-	// Connections pinned to the dead backend must re-bind.
-	for conn, s := range c.lastServer {
-		if s == server {
-			delete(c.lastServer, conn)
-		}
 	}
 }
 
@@ -287,116 +310,10 @@ func (c *Cluster) anyUp() bool {
 	return false
 }
 
-// reroute redirects a decision away from a crashed or hibernating
-// backend to the least-loaded available one, reporting whether any
-// backend is available.
-func (c *Cluster) reroute(d *policy.Decision) bool {
-	best, bestLoad, found := 0, 0, false
-	for i := range c.backends {
-		if c.unavailable(i) {
-			continue
-		}
-		if l := c.Load(i); !found || l < bestLoad {
-			best, bestLoad, found = i, l, true
-		}
-	}
-	if !found && c.power != nil {
-		// Wake-on-demand: no backend is awake (e.g. the last active one
-		// crashed) — wake the lowest-index live sleeper.
-		for i := range c.backends {
-			if c.down[i] || !c.power.asleep[i] {
-				continue
-			}
-			c.power.accrue(c.eng.Now())
-			c.power.asleep[i] = false
-			c.power.wakes++
-			c.backends[i].cpu.Schedule(c.power.params.WakeLatency, nil)
-			best, found = i, true
-			break
-		}
-	}
-	if !found {
-		return false
-	}
-	d.Server = best
-	d.Handoff = true
-	if d.Source >= 0 && c.unavailable(d.Source) {
-		d.Source = -1
-	}
-	return true
-}
-
-// --- policy.View ---
-
-// NumServers implements policy.View.
-func (c *Cluster) NumServers() int { return len(c.backends) }
-
-// Load implements policy.View: outstanding work at the backend. Crashed
-// and hibernating backends report an effectively infinite load so
-// load-based policies avoid them.
-func (c *Cluster) Load(i int) int {
-	if c.unavailable(i) {
-		return int(^uint(0) >> 2) // "infinite"
-	}
-	b := c.backends[i]
-	return b.cpu.QueueLen() + b.disk.QueueLen()
-}
-
-// ServersWith implements policy.View from the dispatcher's locality map.
-// Hibernating backends keep their (suspend-to-RAM) contents but are not
-// offered as routing targets.
-func (c *Cluster) ServersWith(file string) []int {
-	return c.availableSorted(c.memory[file])
-}
-
-// PrefetchedAt implements policy.View.
-func (c *Cluster) PrefetchedAt(file string) []int {
-	return c.availableSorted(c.prefetched[file])
-}
-
-// availableSorted returns the available (awake, live) members of a server
-// set in ascending order.
-func (c *Cluster) availableSorted(m map[int]bool) []int {
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]int, 0, len(m))
-	for s := range m {
-		if !c.unavailable(s) {
-			out = append(out, s)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
-// InFlight implements policy.View.
-func (c *Cluster) InFlight(file string) (int, bool) {
-	m := c.inflight[file]
-	if len(m) == 0 {
-		return 0, false
-	}
-	best, found := 0, false
-	for s, n := range m {
-		if n <= 0 || c.unavailable(s) {
-			continue
-		}
-		if !found || s < best {
-			best, found = s, true
-		}
-	}
-	return best, found
-}
-
-// LastServer implements policy.View.
-func (c *Cluster) LastServer(conn int) (int, bool) {
-	s, ok := c.lastServer[conn]
-	return s, ok
-}
-
-var _ policy.View = (*Cluster)(nil)
-
 // --- replicate.Placer ---
+
+// NumServers implements replicate.Placer.
+func (c *Cluster) NumServers() int { return len(c.backends) }
 
 // Holders implements replicate.Placer.
 func (c *Cluster) Holders(file string) []int {
@@ -422,7 +339,7 @@ func (c *Cluster) Replicate(file string, server int) {
 		evicted, stored := b.store.InsertPinned(file, size)
 		c.noteEvictions(server, evicted)
 		if stored {
-			c.noteResident(server, file)
+			c.core.NoteResident(server, file)
 		} else {
 			delSet(c.replicas, file, server)
 		}
@@ -439,17 +356,11 @@ func (c *Cluster) Drop(file string, server int) {
 
 var _ replicate.Placer = (*Cluster)(nil)
 
-// --- dispatcher bookkeeping ---
-
-// noteResident records that a backend now holds file in memory.
-func (c *Cluster) noteResident(server int, file string) {
-	addSet(c.memory, file, server)
-}
+// --- residency bookkeeping (ground truth for the core) ---
 
 // noteGone records that a backend no longer holds file in memory.
 func (c *Cluster) noteGone(server int, file string) {
-	delSet(c.memory, file, server)
-	delSet(c.prefetched, file, server)
+	c.core.NoteGone(server, file)
 	delSet(c.replicas, file, server)
 }
 

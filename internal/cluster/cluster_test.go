@@ -250,8 +250,8 @@ func TestViewConsistencyDuringRun(t *testing.T) {
 	if _, err := cl.Run(tr); err != nil {
 		t.Fatal(err)
 	}
-	for file, servers := range cl.memory {
-		for s := range servers {
+	for file, servers := range cl.Core().ResidencySnapshot() {
+		for _, s := range servers {
 			if !cl.backends[s].store.Contains(file) {
 				t.Fatalf("dispatcher thinks %s is on backend %d but the cache disagrees", file, s)
 			}

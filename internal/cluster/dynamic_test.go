@@ -66,7 +66,7 @@ func TestDynamicPagesNeverCached(t *testing.T) {
 	if _, err := cl.Run(tr); err != nil {
 		t.Fatal(err)
 	}
-	for file := range cl.memory {
+	for file := range cl.Core().ResidencySnapshot() {
 		if trace.IsDynamicPath(file) {
 			t.Fatalf("dynamic file %s recorded as memory-resident", file)
 		}
@@ -90,7 +90,7 @@ func TestDynamicPagesNeverPrefetched(t *testing.T) {
 	if _, err := cl.Run(tr); err != nil {
 		t.Fatal(err)
 	}
-	for file := range cl.prefetched {
+	for file := range cl.Core().PrefetchMarks() {
 		if trace.IsDynamicPath(file) {
 			t.Fatalf("dynamic file %s was prefetched", file)
 		}

@@ -59,9 +59,11 @@ func TestBackendCrashAllRequestsStillComplete(t *testing.T) {
 		if cl.backends[1].store.Len() != 0 {
 			t.Fatalf("%s: crashed backend still holds %d objects", name, cl.backends[1].store.Len())
 		}
-		for file, servers := range cl.memory {
-			if servers[1] {
-				t.Fatalf("%s: dispatcher still maps %s to the dead backend", name, file)
+		for file, servers := range cl.Core().ResidencySnapshot() {
+			for _, s := range servers {
+				if s == 1 {
+					t.Fatalf("%s: dispatcher still maps %s to the dead backend", name, file)
+				}
 			}
 		}
 	}

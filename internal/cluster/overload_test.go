@@ -10,8 +10,8 @@ import (
 )
 
 // TestSimOverloadShedsUnderPressure runs a trace through a cluster with
-// a deliberately tiny admission limit: the mirror must shed, record a
-// monotone ladder ascent, and keep the request accounting exact.
+// a deliberately tiny admission limit: the core's ladder must shed,
+// record a monotone ascent, and keep the request accounting exact.
 func TestSimOverloadShedsUnderPressure(t *testing.T) {
 	tr, m := testWorkload(t, 3000, 7)
 	run := func() *Result {
@@ -59,8 +59,8 @@ func TestSimOverloadShedsUnderPressure(t *testing.T) {
 	if res.Metrics.PrefetchShed == 0 {
 		t.Error("no proactive passes shed on the way to Critical")
 	}
-	// The mirror is deterministic: a second identical run sheds the same
-	// requests at the same virtual times.
+	// The simulated ladder is deterministic: a second identical run
+	// sheds the same requests at the same virtual times.
 	res2 := run()
 	if res.Metrics.Shed != res2.Metrics.Shed || res.Metrics.PrefetchShed != res2.Metrics.PrefetchShed {
 		t.Errorf("shed counts diverge across identical runs: %d/%d vs %d/%d",

@@ -47,14 +47,23 @@ type Result struct {
 	// value near 1 means the front-end was the bottleneck (§2.1's
 	// motivation for decentralized distribution).
 	FrontUtilization []float64
-	// TierTransitions is the overload mirror's degrade-ladder history in
+	// TierTransitions is the decision core's degrade-ladder history in
 	// virtual time (nil when Config.Overload is nil). Deterministic for a
 	// given trace and configuration.
 	TierTransitions []overload.Transition
 }
 
-// result collects the run outcome.
+// result collects the run outcome, folding the dispatch core's decision
+// counters into the substrate metrics the cluster gathered itself.
 func (c *Cluster) result(tr *trace.Trace) *Result {
+	cs := c.core.Stats()
+	c.met.Dispatches = cs.Dispatches
+	c.met.DirectForwards = cs.DirectForwards
+	c.met.Handoffs = cs.Handoffs
+	c.met.Prefetches = cs.Prefetches
+	c.met.PrefetchShed = cs.PrefetchShed
+	c.met.ReplicationsShed = cs.ReplicationsShed
+	c.met.Shed = cs.Shed
 	makespan := c.lastDone - c.firstArr
 	res := &Result{
 		PolicyName:   c.cfg.Policy.Name(),
@@ -74,9 +83,7 @@ func (c *Cluster) result(tr *trace.Trace) *Result {
 	for _, f := range c.fronts {
 		res.FrontUtilization = append(res.FrontUtilization, f.Utilization())
 	}
-	if c.est != nil {
-		res.TierTransitions = c.est.Transitions()
-	}
+	res.TierTransitions = c.core.TierTransitions()
 	for _, b := range c.backends {
 		res.Servers = append(res.Servers, ServerStats{
 			Served:          b.served,

@@ -3,10 +3,10 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
-	"prord/internal/overload"
-	"prord/internal/policy"
+	"prord/internal/dispatch"
 	"prord/internal/trace"
 )
 
@@ -16,7 +16,8 @@ import (
 // not modeled, matching the paper's sequential persistent connections).
 type session struct {
 	id   int
-	reqs []int // indices into the trace's request slice
+	key  string // the core's session key
+	reqs []int  // indices into the trace's request slice
 	next int
 }
 
@@ -39,7 +40,7 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 	bySession := tr.Sessions()
 	sessions := make([]*session, 0, len(bySession))
 	for id, idxs := range bySession {
-		sessions = append(sessions, &session{id: id, reqs: idxs})
+		sessions = append(sessions, &session{id: id, key: strconv.Itoa(id), reqs: idxs})
 	}
 	sort.Slice(sessions, func(i, j int) bool {
 		ti := tr.Requests[sessions[i].reqs[0]].Time
@@ -84,19 +85,16 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 		c.eng.After(c.power.params.Interval, tick)
 	}
 	// Periodic replication (Algorithm 3's "every t seconds"), kept alive
-	// only while work remains so the event queue can drain.
+	// only while work remains so the event queue can drain. The degrade
+	// ladder sheds refresh rounds along with prefetching: no proactive
+	// copies while the cluster is pressed.
 	if c.replmgr != nil {
 		var tick func()
 		tick = func() {
 			if c.remaining <= 0 {
 				return
 			}
-			if c.tier() >= overload.Elevated {
-				// The degrade ladder sheds replication refresh along with
-				// prefetching: no proactive copies while the cluster is
-				// pressed.
-				c.met.ReplicationsShed++
-			} else {
+			if !c.core.ShedReplication() {
 				c.replmgr.Step(c)
 			}
 			c.eng.After(c.cfg.ReplicationInterval, tick)
@@ -122,17 +120,9 @@ func (c *Cluster) issue(tr *trace.Trace, s *session) {
 func (c *Cluster) scheduleNext(tr *trace.Trace, s *session) {
 	s.next++
 	if s.next >= len(s.reqs) {
-		// Connection closes; clean up per-connection state.
-		delete(c.lastServer, s.id)
-		delete(c.lastPage, s.id)
-		delete(c.connPages, s.id)
-		delete(c.classified, s.id)
-		if c.tracker != nil {
-			c.tracker.Close(s.id)
-		}
-		if cc, ok := c.cfg.Policy.(policy.ConnCloser); ok {
-			cc.ConnClose(s.id)
-		}
+		// Connection closes; the core drops its session, navigation
+		// tracker and per-connection policy state.
+		c.core.CloseConn(s.key)
 		return
 	}
 	gap := tr.Requests[s.reqs[s.next]].Time - tr.Requests[s.reqs[s.next-1]].Time
@@ -142,127 +132,72 @@ func (c *Cluster) scheduleNext(tr *trace.Trace, s *session) {
 	c.eng.After(gap, func() { c.issue(tr, s) })
 }
 
-// classifyEmbedded is the distributor's content analysis: does this
-// request fetch an embedded object of the connection's previous main
-// page? It uses mined bundle knowledge, not trace ground truth.
-func (c *Cluster) classifyEmbedded(conn int, path string) bool {
-	if !c.cfg.Features.Bundle || c.cfg.Miner == nil {
-		return false
+// processRequest runs the core's admission control and, once admitted,
+// its Fig. 4 routing flow. A queued request waits in the core's bounded
+// accept queue — the same one the live front-end uses — for up to
+// QueueTimeout of virtual time.
+func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, issued time.Duration) {
+	verdict, w := c.core.Admit(s.key, r.Path, c.vnow(), func() {
+		// A slot freed while we were queued: resume at the current
+		// virtual time (the grant fires inside another request's
+		// completion event).
+		c.eng.After(0, func() { c.routeRequest(tr, s, r, issued) })
+	})
+	switch verdict {
+	case dispatch.Shed:
+		c.remaining--
+		c.scheduleNext(tr, s)
+	case dispatch.Queued:
+		wr := w
+		c.eng.After(c.core.QueueTimeout(), func() {
+			if c.core.AbandonWait(wr, r.Path, c.vnow()) {
+				c.remaining--
+				c.scheduleNext(tr, s)
+			}
+		})
+	default:
+		c.routeRequest(tr, s, r, issued)
 	}
-	last := c.lastPage[conn]
-	if last == "" || !trace.IsEmbeddedPath(path) {
-		return false
-	}
-	parent, known := c.cfg.Miner.Bundles.Parent(path)
-	return known && parent == last
 }
 
-// processRequest runs the Fig. 4 front-end flow and hands the request to
-// a backend.
-func (c *Cluster) processRequest(tr *trace.Trace, s *session, r *trace.Request, issued time.Duration) {
-	tier := c.tier()
-	last, haveLast := c.lastServer[s.id]
-	// Critical-tier admission control, mirrored from the live front-end.
-	// The live accept queue is modeled as in-flight headroom above the
-	// admission limit; embedded-object requests of in-progress sessions
-	// are never shed (their page was already admitted).
-	if c.est != nil && tier == overload.Critical {
-		bypass := haveLast && trace.IsEmbeddedPath(r.Path)
-		if !bypass && c.est.InFlight() >= c.admitLimit {
-			c.met.Shed++
-			c.remaining--
-			c.scheduleNext(tr, s)
-			return
-		}
-	}
-	// From Saturated up, bundle classification stops and routing falls
-	// back to locality-only LARD, exactly like the live front-end.
-	embedded := c.classifyEmbedded(s.id, r.Path)
-	pol := c.cfg.Policy
-	if tier >= overload.Saturated {
-		embedded = false
-		if c.fallback != nil {
-			pol = c.fallback
-		}
-	}
-	preq := policy.Request{
-		Conn:     s.id,
-		Path:     r.Path,
-		Size:     r.Size,
-		Embedded: embedded,
-		First:    !haveLast,
-	}
-	// The forward module (Fig. 4's dashed box) lives in the front-end
-	// flow, outside the policy: with the bundle enhancement enabled,
-	// embedded objects follow the previous request directly, whatever the
-	// distribution policy. This is what turns plain LARD into the paper's
-	// "LARD-bundle" ablation.
-	var d policy.Decision
-	if preq.Embedded && haveLast && !c.unavailable(last) {
-		d = policy.Decision{Server: last, Source: -1}
-	} else {
-		d = pol.Route(preq, c)
-	}
-	if d.Server < 0 || d.Server >= len(c.backends) {
-		panic(fmt.Sprintf("cluster: policy %s routed to invalid server %d", c.cfg.Policy.Name(), d.Server))
-	}
-	// Policies that ignore load (e.g. WRR) may still pick a crashed or
-	// hibernating backend; the front-end reroutes to an available one.
-	if c.unavailable(d.Server) && !c.reroute(&d) {
+// routeRequest asks the core for a placement and hands the request to
+// the chosen backend through a front-end distributor.
+func (c *Cluster) routeRequest(tr *trace.Trace, s *session, r *trace.Request, issued time.Duration) {
+	out := c.core.Route(s.key, r.Path, r.Size, c.vnow())
+	if !out.OK {
 		// Whole cluster down: the request is lost.
+		c.core.GateLeave()
 		c.met.Failed++
 		c.remaining--
 		c.scheduleNext(tr, s)
 		return
 	}
-	if d.Dispatch {
-		c.met.Dispatches++
-	} else if haveLast {
-		c.met.DirectForwards++
-	}
-	if d.Handoff {
-		c.met.Handoffs++
-	}
 	// Front-end occupancy: analysis + dispatcher consultation + handoff.
 	cost := c.cfg.Params.FrontPerRequest
-	if d.Dispatch {
+	if out.Dispatch {
 		cost += c.cfg.Params.DispatchLatency
 	}
-	if d.Handoff {
+	if out.Handoff {
 		cost += c.cfg.Params.HandoffLatency
 	}
-	// Record routing state immediately: subsequent requests on this
-	// connection are only issued after this one completes, but prefetch
-	// and replication events interleave.
-	c.lastServer[s.id] = d.Server
-	if !trace.IsEmbeddedPath(r.Path) {
-		c.lastPage[s.id] = r.Path
-	}
-	incFlight(c.inflight, r.Path, d.Server)
-
 	if c.replmgr != nil {
 		c.replmgr.Ranker().Observe(r.Path)
 	}
-
-	if c.est != nil {
-		c.est.Begin(c.vnow())
-	}
-
 	// The L4 switch pins each connection to one distributor.
 	front := c.fronts[s.id%len(c.fronts)]
 	front.Schedule(cost, func(_, _ time.Duration) {
-		c.arriveAtBackend(tr, s, r, d, issued)
+		c.arriveAtBackend(tr, s, r, out, issued)
 	})
 }
 
 // arriveAtBackend resolves the content (memory hit, remote memory, or
 // disk) and then serves the response through the backend CPU.
-func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request, d policy.Decision, issued time.Duration) {
-	b := c.backends[d.Server]
+func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request, out dispatch.Outcome, issued time.Duration) {
+	b := c.backends[out.Server]
 	serve := func() {
 		b.cpu.Schedule(
 			c.cfg.Params.CPUPerRequest+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
-			func(_, end time.Duration) { c.complete(tr, s, r, d.Server, issued, end) },
+			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end) },
 		)
 	}
 	switch {
@@ -271,17 +206,16 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		c.met.DynamicServed++
 		b.cpu.Schedule(
 			c.cfg.Params.DynamicCPU+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
-			func(_, end time.Duration) { c.complete(tr, s, r, d.Server, issued, end) },
+			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end) },
 		)
 		return
 	case b.store.Touch(r.Path):
 		c.met.MemoryHits++
-		if c.prefetched[r.Path][d.Server] {
+		if c.core.ConsumePrefetch(out.Server, r.Path) {
 			c.met.PrefetchHits++
-			delSet(c.prefetched, r.Path, d.Server)
 		}
 		serve()
-	case d.Source >= 0 && d.Source != d.Server && c.backends[d.Source].store.Contains(r.Path):
+	case out.Source >= 0 && out.Source != out.Server && c.backends[out.Source].store.Contains(r.Path):
 		// Back-end forwarding: pull the bytes from the remote memory over
 		// the internal network. No disk access, so it counts as a memory
 		// hit for locality purposes.
@@ -290,28 +224,28 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		b.net.Schedule(perKBCost(r.Size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
 			serve()
 		})
-	case c.prefetched[r.Path][d.Server]:
+	case c.core.PrefetchedHere(out.Server, r.Path):
 		// A prefetch of this file is already reading the disk here:
 		// piggyback on it rather than issuing a duplicate read. The
 		// request still waited on disk, so it counts as a miss, but the
 		// prefetch was useful.
 		c.met.MemoryMisses++
 		c.met.PrefetchHits++
-		key := waiterKey(r.Path, d.Server)
+		key := waiterKey(r.Path, out.Server)
 		c.waiters[key] = append(c.waiters[key], serve)
 	default:
 		c.met.MemoryMisses++
 		b.disk.Schedule(
 			c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB),
 			func(_, _ time.Duration) {
-				if c.down[d.Server] {
+				if c.down[out.Server] {
 					serve() // completion path handles the retry
 					return
 				}
 				evicted, stored := b.store.Insert(r.Path, r.Size)
-				c.noteEvictions(d.Server, evicted)
+				c.noteEvictions(out.Server, evicted)
 				if stored {
-					c.noteResident(d.Server, r.Path)
+					c.core.NoteResident(out.Server, r.Path)
 				}
 				serve()
 			},
@@ -319,17 +253,15 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 	}
 }
 
-// complete finishes one request: metrics, proactive hooks, next issue.
+// complete finishes one request: metrics, proactive planning, next issue.
 func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration) {
-	if c.est != nil {
-		// Feed the overload mirror one completion (a crash-retry re-enters
-		// processRequest and Begins again, keeping the count balanced).
-		c.est.End(c.vnow(), end-issued)
-	}
+	// Feed the overload layer one completion (a crash-retry re-enters
+	// processRequest and is admitted again, keeping the count balanced).
+	c.core.FinishRequest(c.vnow(), end-issued)
 	if c.down[server] {
 		// The backend crashed while serving: the response never reached
 		// the client, which retries through the front-end.
-		decFlight(c.inflight, r.Path, server)
+		c.core.Done(s.key, server, r.Path, true, false)
 		if !c.anyUp() {
 			c.met.Failed++
 			c.remaining--
@@ -340,6 +272,7 @@ func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server
 		c.processRequest(tr, s, r, issued)
 		return
 	}
+	c.core.Done(s.key, server, r.Path, false, false)
 	b := c.backends[server]
 	b.served++
 	c.met.Completed++
@@ -348,93 +281,50 @@ func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server
 	if end > c.lastDone {
 		c.lastDone = end
 	}
-	decFlight(c.inflight, r.Path, server)
 	c.remaining--
 
 	if !trace.IsEmbeddedPath(r.Path) {
-		if c.est != nil && c.tier() >= overload.Elevated && c.cfg.Features.Any() {
-			// Elevated and above shed PRORD's proactive pass entirely.
-			c.met.PrefetchShed++
-		} else {
-			c.proactiveHooks(s.id, server, r.Path)
+		// PRORD's proactive pass (bundle, navigation, category prefetch):
+		// the core plans and marks placements, the simulator models one
+		// batched disk read per trigger ([7]'s premise: bundles are
+		// stored together, so the objects come off in one near-sequential
+		// read).
+		if plan, ok := c.core.PlanProactive(s.key, server, r.Path, c.vnow()); ok {
+			c.prefetchBatch(plan.Server, plan.Bundle)
+			c.prefetchBatch(plan.Server, plan.Nav)
+			c.prefetchBatch(plan.Server, plan.Group)
 		}
 	}
 	c.scheduleNext(tr, s)
-}
-
-// proactiveHooks runs PRORD's backend-side prefetching after a main page
-// is served: bundle prefetch of the page's embedded objects (§4.1,
-// "when a request for a main page arrives at the backend, the embedded
-// objects associated with main page are pre-fetched into the cache") and
-// navigation prefetch of the predicted next page (Algorithm 2).
-func (c *Cluster) proactiveHooks(conn, server int, page string) {
-	if c.cfg.Features.Bundle {
-		c.prefetchBundle(server, c.cfg.Miner.Bundles.Objects(page))
-	}
-	if c.cfg.Features.NavPrefetch && c.tracker != nil {
-		pred, ok := c.tracker.Observe(conn, page)
-		if ok && c.cfg.Miner.ShouldPrefetch(pred) {
-			// §4.1: the backend prefetches "a specific group of data
-			// containing currently requested pages" — the predicted page
-			// together with its embedded objects.
-			group := append([]string{pred.Page}, c.cfg.Miner.Bundles.Objects(pred.Page)...)
-			c.prefetchNav(server, group)
-		}
-	}
-	if c.cfg.Features.GroupPrefetch {
-		c.groupPrefetch(conn, server, page)
-	}
-}
-
-// groupPrefetch implements §4.1's category-driven prefetching: once a
-// connection's access path identifies the user's group with confidence
-// ("the longer the comparison paths are, the better the confidence of
-// the predicted category"), the group's characteristic pages are pulled
-// into the serving backend's memory. Fires at most once per connection.
-func (c *Cluster) groupPrefetch(conn, server int, page string) {
-	cat := c.cfg.Miner.Categorizer
-	if cat == nil || c.classified[conn] {
-		return
-	}
-	pages := append(c.connPages[conn], page)
-	if len(pages) > 8 {
-		pages = pages[len(pages)-8:]
-	}
-	c.connPages[conn] = pages
-	if len(pages) < 2 {
-		return
-	}
-	group, conf := cat.Classify(pages)
-	if conf < 0.8 {
-		return
-	}
-	c.classified[conn] = true
-	c.prefetchNav(server, cat.TopPages(group, 4))
 }
 
 func waiterKey(file string, server int) string {
 	return fmt.Sprintf("%s|%d", file, server)
 }
 
-// admitPrefetch registers a prefetch placement if the file is absent and
-// not already on its way; it reports whether the caller should read it.
-func (c *Cluster) admitPrefetch(server int, file string) (int64, bool) {
-	size, known := c.files[file]
-	if !known {
-		return 0, false
+// prefetchBatch reads one trigger's admitted files off the backend disk
+// in a single operation and pins them on completion. The core has
+// already admitted and marked every file; sizes come from the trace's
+// file table (the Prefetchable hook guarantees they are known).
+func (c *Cluster) prefetchBatch(server int, files []string) {
+	if len(files) == 0 {
+		return
 	}
-	if trace.IsDynamicPath(file) {
-		return 0, false // generated content cannot be prefetched
+	b := c.backends[server]
+	sizes := make([]int64, len(files))
+	var bytes int64
+	for i, f := range files {
+		sizes[i] = c.files[f]
+		bytes += sizes[i]
 	}
-	if c.backends[server].store.Contains(file) {
-		return 0, false
-	}
-	if c.prefetched[file][server] {
-		return 0, false // already being prefetched here
-	}
-	addSet(c.prefetched, file, server)
-	c.met.Prefetches++
-	return size, true
+	b.disk.Schedule(
+		c.cfg.Params.DiskFixed+perKBCost(bytes, c.cfg.Params.DiskPerKB),
+		func(_, _ time.Duration) {
+			for i, f := range files {
+				c.finishPrefetch(server, f, sizes[i])
+			}
+		},
+	)
 }
 
 // finishPrefetch inserts a completed prefetch into pinned memory and
@@ -448,89 +338,16 @@ func (c *Cluster) finishPrefetch(server int, file string, size int64) {
 			w()
 		}
 	}
-	if !c.prefetched[file][server] || c.down[server] {
+	if !c.core.PrefetchedHere(server, file) || c.down[server] {
 		release() // placement consumed/invalidated while reading
 		return
 	}
 	evicted, stored := c.backends[server].store.InsertPinned(file, size)
 	c.noteEvictions(server, evicted)
 	if stored {
-		c.noteResident(server, file)
+		c.core.NoteResident(server, file)
 	} else {
-		delSet(c.prefetched, file, server)
+		c.core.UnmarkPrefetch(server, file)
 	}
 	release()
-}
-
-// prefetchBundle pulls a page's missing embedded objects into pinned
-// memory with a single disk operation: bundles are stored together, so
-// the objects come off the disk in one near-sequential read ([7]'s
-// premise). Bundle prefetches are not throttled — their objects are
-// requested by the browser within milliseconds.
-func (c *Cluster) prefetchBundle(server int, objects []string) {
-	b := c.backends[server]
-	type item struct {
-		file string
-		size int64
-	}
-	var missing []item
-	var bytes int64
-	for _, obj := range objects {
-		if size, ok := c.admitPrefetch(server, obj); ok {
-			missing = append(missing, item{obj, size})
-			bytes += size
-		}
-	}
-	if len(missing) == 0 {
-		return
-	}
-	b.disk.Schedule(
-		c.cfg.Params.DiskFixed+perKBCost(bytes, c.cfg.Params.DiskPerKB),
-		func(_, _ time.Duration) {
-			for _, it := range missing {
-				c.finishPrefetch(server, it.file, it.size)
-			}
-		},
-	)
-}
-
-// prefetchNav pulls the predicted next page group (page + embedded
-// objects) from the backend's disk into its pinned memory with one read.
-// It skips entirely when the disk is loaded with demand work, and skips
-// files that are already resident on ANY backend: the dispatcher routes
-// requests to existing holders, so prefetching a duplicate copy would
-// only churn the disk and evict useful memory.
-func (c *Cluster) prefetchNav(server int, group []string) {
-	b := c.backends[server]
-	if lim := c.cfg.Params.PrefetchQueueLimit; lim > 0 && b.disk.QueueLen() > lim {
-		return // disk busy with demand traffic; skip this prefetch
-	}
-	cold := group[:0:0]
-	for _, file := range group {
-		if len(c.memory[file]) == 0 {
-			cold = append(cold, file)
-		}
-	}
-	c.prefetchBundle(server, cold)
-}
-
-func incFlight(m map[string]map[int]int, file string, server int) {
-	set, ok := m[file]
-	if !ok {
-		set = make(map[int]int)
-		m[file] = set
-	}
-	set[server]++
-}
-
-func decFlight(m map[string]map[int]int, file string, server int) {
-	if set, ok := m[file]; ok {
-		set[server]--
-		if set[server] <= 0 {
-			delete(set, server)
-		}
-		if len(set) == 0 {
-			delete(m, file)
-		}
-	}
 }

@@ -1,0 +1,155 @@
+package dispatch_test
+
+// Decision-path microbenchmarks for the shared PRORD core, plus the
+// BENCH_dispatch.json artifact writer `make bench-smoke` invokes. The
+// benchmarks measure the Route/Done pair — the work both adapters pay
+// per demand request — with no transport, policy-visible I/O, or
+// overload layer attached.
+//
+// BenchmarkDispatch is single-goroutine decision latency.
+// BenchmarkDispatchParallel drives the same mix from all cores: Route
+// still serializes policy selection on one mutex, but session booking,
+// locality updates and completion accounting run on striped shard
+// locks, so the pair is expected to scale well past 1/(single-thread
+// throughput).
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prord/internal/dispatch"
+	"prord/internal/metrics"
+	"prord/internal/policy"
+)
+
+// benchCore builds an optimistic-mode core the way the live front-end
+// does: PRORD policy, default locality/session bounds, no overload
+// layer (Admit would dominate Route in the gateless common case).
+func benchCore(b *testing.B, backends int) *dispatch.Core {
+	b.Helper()
+	c, err := dispatch.New(dispatch.Config{
+		Backends: backends,
+		Policy:   policy.NewPRORD(policy.Thresholds{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// benchPaths is a static working set large enough to spread across
+// every file shard and small enough to stay resident in the locality
+// maps, so steady-state Route decisions hit the LARD fast paths.
+func benchPaths(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("/g%d/p%d.html", i%4, i)
+	}
+	return out
+}
+
+func benchKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.%d.%d:1234", i/256, i%256)
+	}
+	return out
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	c := benchCore(b, 8)
+	paths := benchPaths(512)
+	keys := benchKeys(64)
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, path := keys[i%len(keys)], paths[i%len(paths)]
+		out := c.Route(key, path, 4096, now)
+		c.Done(key, out.Server, path, false, false)
+	}
+}
+
+func BenchmarkDispatchParallel(b *testing.B) {
+	c := benchCore(b, 8)
+	paths := benchPaths(512)
+	keys := benchKeys(256)
+	now := time.Unix(0, 0)
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine replays its own client population so session
+		// state spreads across the lock stripes like real traffic does.
+		g := int(gid.Add(1))
+		i := 0
+		for pb.Next() {
+			key := keys[(g*31+i)%len(keys)]
+			path := paths[(g*17+i)%len(paths)]
+			out := c.Route(key, path, 4096, now)
+			c.Done(key, out.Server, path, false, false)
+			i++
+		}
+	})
+}
+
+// TestDispatchBenchArtifact writes the decision-latency figures as a
+// BENCH artifact in the shared schema when BENCH_DISPATCH_OUT names a
+// destination (the `make bench-smoke` path). Without the variable it
+// is a no-op, keeping `go test ./...` free of file side effects.
+func TestDispatchBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_DISPATCH_OUT")
+	if out == "" {
+		t.Skip("BENCH_DISPATCH_OUT not set")
+	}
+	c, err := dispatch.New(dispatch.Config{
+		Backends: 8,
+		Policy:   policy.NewPRORD(policy.Thresholds{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := benchPaths(512)
+	keys := benchKeys(64)
+	now := time.Unix(0, 0)
+	const samples = 200000
+	var hist metrics.Histogram
+	for i := 0; i < samples; i++ {
+		key, path := keys[i%len(keys)], paths[i%len(paths)]
+		start := time.Now()
+		o := c.Route(key, path, 4096, now)
+		c.Done(key, o.Server, path, false, false)
+		hist.Observe(time.Since(start))
+	}
+	st := c.Stats()
+	art := metrics.BenchArtifact{
+		Tool: "dispatch-bench",
+		Config: map[string]any{
+			"backends": 8,
+			"policy":   "PRORD",
+			"samples":  samples,
+		},
+		Runs: []metrics.BenchRun{{
+			Name:          "route-done",
+			Requests:      st.Requests,
+			Latency:       hist.Summary(),
+			DispatchPerRequest: metrics.Round(
+				float64(st.Dispatches)/float64(st.Requests), 3),
+			Handoffs: st.Handoffs,
+		}},
+	}
+	art.Stamp(time.Now())
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := art.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: p50=%dus p99=%dus over %d samples",
+		out, hist.Summary().P50US, hist.Summary().P99US, samples)
+}

@@ -1,0 +1,264 @@
+package dispatch_test
+
+// Differential test for the shared decision core: the same seeded trace
+// is replayed through the discrete-event simulator and through an
+// in-process live cluster (real HTTP through httpfront), and every
+// routing decision the core records — backend choice, embedded
+// classification, dispatch/handoff accounting, degrade-ladder tier,
+// admission verdict — must be identical step for step. This is the
+// contract the extraction of internal/dispatch exists to enforce:
+// simulator results transfer to the live front-end because both are
+// thin adapters over one decision engine.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"prord/internal/cluster"
+	"prord/internal/dispatch"
+	"prord/internal/httpfront"
+	"prord/internal/mining"
+	"prord/internal/overload"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// diffWorkload builds a seeded synthetic workload re-spaced to one
+// request per virtual second, so at most one request is ever in flight
+// on either side: the sequential schedule removes all timing freedom,
+// leaving the decision sequence as the only thing compared.
+//
+// The miner comes back as a factory, not an instance: the navigation
+// tracker learns online, mutating the mined model as the replay runs,
+// so sharing one miner between the two adapters would leak the first
+// run's learning into the second. Mining is deterministic, so two
+// calls yield independent but identical models.
+func diffWorkload(t *testing.T, requests int, seed int64) (*trace.Trace, func() *mining.Miner) {
+	t.Helper()
+	_, full, err := trace.GeneratePreset(trace.PresetSynthetic, float64(requests)/30000.0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval := full.Split(0.4)
+	for i := range eval.Requests {
+		eval.Requests[i].Time = time.Duration(i) * time.Second
+	}
+	return eval, func() *mining.Miner { return mining.Mine(train, mining.Options{}) }
+}
+
+// simParams sizes backend memory so nothing is ever evicted: the
+// simulator's exact residency then equals the live core's optimistic
+// locality (every file served stays hot), and the two views cannot
+// drift for cache-pressure reasons.
+func simParams(backends int) cluster.Params {
+	p := cluster.DefaultParams()
+	p.Backends = backends
+	p.AppMemory = 1 << 30
+	p.PinnedMemory = 1 << 28
+	return p
+}
+
+// recordSink collects core decision records; live requests run one at a
+// time, but the goroutine handing off between client and server still
+// needs the lock for safe publication.
+type recordSink struct {
+	mu   sync.Mutex
+	recs []dispatch.Record
+}
+
+func (s *recordSink) record(r dispatch.Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+}
+
+func (s *recordSink) snapshot() []dispatch.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]dispatch.Record(nil), s.recs...)
+}
+
+// normalizeConns rewrites connection ids to first-appearance order. The
+// two adapters number sessions differently (the simulator runs one
+// lock stripe, the live front-end sixteen), so raw ids differ while the
+// session structure is identical. -1 (shed before a session was looked
+// up) is preserved.
+func normalizeConns(recs []dispatch.Record) []dispatch.Record {
+	seen := make(map[int]int)
+	out := make([]dispatch.Record, len(recs))
+	for i, r := range recs {
+		if r.Conn >= 0 {
+			id, ok := seen[r.Conn]
+			if !ok {
+				id = len(seen)
+				seen[r.Conn] = id
+			}
+			r.Conn = id
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// runSim replays the trace through the simulator adapter.
+func runSim(t *testing.T, tr *trace.Trace, m *mining.Miner, pol policy.Policy,
+	feats cluster.Features, ov *overload.Config, backends int) []dispatch.Record {
+	t.Helper()
+	sink := &recordSink{}
+	cl, err := cluster.New(cluster.Config{
+		Params:   simParams(backends),
+		Policy:   pol,
+		Features: feats,
+		Miner:    m,
+		Overload: ov,
+		Recorder: sink.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	return sink.snapshot()
+}
+
+// runLive replays the trace through the live adapter: real DemoBackends
+// behind httptest servers, one keep-alive client per trace session (the
+// front-end keys sessions on RemoteAddr), strictly sequential. Each
+// request waits for the Observe callback, which httpfront invokes only
+// after the core has recorded the completion and the proactive pass —
+// so the next request cannot race the previous one's decision state.
+func runLive(t *testing.T, tr *trace.Trace, m *mining.Miner, pol policy.Policy,
+	prefetch bool, ov *overload.Config, backends int) []dispatch.Record {
+	t.Helper()
+	sink := &recordSink{}
+	observed := make(chan struct{}, 1)
+	cfg := httpfront.Config{
+		Policy:   pol,
+		Miner:    m,
+		Prefetch: prefetch,
+		Overload: ov,
+		Recorder: sink.record,
+		Observe:  func(httpfront.Observation) { observed <- struct{}{} },
+	}
+	for i := 0; i < backends; i++ {
+		b := httpfront.NewDemoBackend("b", tr.Files, 1<<30, 0)
+		srv := httptest.NewServer(b)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, u)
+	}
+	d, err := httpfront.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	front := httptest.NewServer(d)
+	t.Cleanup(front.Close)
+
+	clients := make(map[int]*http.Client)
+	for _, r := range tr.Requests {
+		c := clients[r.Session]
+		if c == nil {
+			transport := &http.Transport{}
+			t.Cleanup(transport.CloseIdleConnections)
+			c = &http.Client{Transport: transport}
+			clients[r.Session] = c
+		}
+		resp, err := c.Get(front.URL + r.Path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", r.Path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		select {
+		case <-observed:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("GET %s: no observation", r.Path)
+		}
+	}
+	return sink.snapshot()
+}
+
+// diffRecords asserts two normalized decision streams are identical.
+func diffRecords(t *testing.T, sim, live []dispatch.Record) {
+	t.Helper()
+	if len(sim) != len(live) {
+		t.Fatalf("decision counts differ: sim %d, live %d", len(sim), len(live))
+	}
+	sim, live = normalizeConns(sim), normalizeConns(live)
+	mismatches := 0
+	for i := range sim {
+		if sim[i] != live[i] {
+			t.Errorf("decision %d diverged:\n  sim:  %+v\n  live: %+v", i, sim[i], live[i])
+			if mismatches++; mismatches >= 5 {
+				t.Fatalf("stopping after %d divergent decisions", mismatches)
+			}
+		}
+	}
+}
+
+// TestDifferentialPRORD replays one trace through both adapters with
+// the full PRORD stack (bundle forwarding, navigation and group
+// prefetch) and requires byte-identical decision records.
+func TestDifferentialPRORD(t *testing.T) {
+	tr, mine := diffWorkload(t, 700, 211)
+	if mine().Categorizer == nil {
+		t.Fatal("synthetic workload should train a categorizer")
+	}
+	feats := cluster.Features{Bundle: true, NavPrefetch: true, GroupPrefetch: true}
+	sim := runSim(t, tr, mine(), policy.NewPRORD(policy.Thresholds{}), feats, nil, 4)
+	live := runLive(t, tr, mine(), policy.NewPRORD(policy.Thresholds{}), true, nil, 4)
+	if len(sim) != len(tr.Requests) {
+		t.Fatalf("sim recorded %d decisions for %d requests", len(sim), len(tr.Requests))
+	}
+	diffRecords(t, sim, live)
+}
+
+// TestDifferentialWRR is the content-blind control: no miner, no
+// proactive features, pure round-robin state in the policy.
+func TestDifferentialWRR(t *testing.T) {
+	tr, _ := diffWorkload(t, 500, 223)
+	sim := runSim(t, tr, nil, policy.NewWRR(3), cluster.Features{}, nil, 3)
+	live := runLive(t, tr, nil, policy.NewWRR(3), false, nil, 3)
+	diffRecords(t, sim, live)
+}
+
+// TestDifferentialOverloadTier pins the degrade ladder above Normal on
+// both sides: a hair-trigger Elevated threshold with a long MinHold
+// means the first routed request lifts the tier and it never drops, so
+// the recorded tier sequence (Normal once, Elevated after) and the
+// tier-driven suppression of the proactive pass must match exactly.
+func TestDifferentialOverloadTier(t *testing.T) {
+	tr, mine := diffWorkload(t, 400, 227)
+	feats := cluster.Features{Bundle: true, NavPrefetch: true, GroupPrefetch: true}
+	ov := func() *overload.Config {
+		return &overload.Config{
+			CapacityPerBackend: 100,
+			ElevatedAt:         0.0001,
+			SaturatedAt:        0.8,
+			CriticalAt:         0.9,
+			MinHold:            time.Hour,
+		}
+	}
+	sim := runSim(t, tr, mine(), policy.NewPRORD(policy.Thresholds{}), feats, ov(), 3)
+	live := runLive(t, tr, mine(), policy.NewPRORD(policy.Thresholds{}), true, ov(), 3)
+	diffRecords(t, sim, live)
+	elevated := 0
+	for _, r := range sim {
+		if r.Tier >= overload.Elevated {
+			elevated++
+		}
+	}
+	if elevated == 0 {
+		t.Fatal("overload variant never left Normal; the tier comparison is vacuous")
+	}
+}

@@ -1,0 +1,413 @@
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"prord/internal/overload"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// Admit runs Critical-tier admission control for one demand request.
+// Below Critical — or for an embedded-object request of a session that
+// already has a backend (its page was admitted; refusing its images
+// only breaks a response already promised) — the request is admitted
+// unconditionally. At Critical it takes a gate slot; when the gate is
+// full but the bounded accept queue has room the verdict is Queued and
+// grant runs (on the goroutine of whichever FinishRequest frees the
+// slot) when the request may proceed, unless AbandonWait withdraws it
+// first. Shed means refused: counted, recorded, never routed. With the
+// overload layer disabled every request is Admitted.
+func (c *Core) Admit(key, path string, now time.Time, grant func()) (Verdict, *overload.Waiter) {
+	if c.gate == nil {
+		return Admitted, nil
+	}
+	bypass := false
+	if trace.IsEmbeddedPath(path) {
+		sh := c.sessionShardFor(key)
+		sh.mu.Lock()
+		if st, ok := sh.byKey[key]; ok && st.hasSrv {
+			bypass = true
+		}
+		sh.mu.Unlock()
+	}
+	c.ovMu.Lock()
+	tier := c.est.Tier()
+	enforce := tier == overload.Critical && !bypass
+	w, ok := c.gate.Enter(enforce, grant)
+	c.ovMu.Unlock()
+	if !ok {
+		c.shed(path, tier)
+		return Shed, nil
+	}
+	if w != nil {
+		return Queued, w
+	}
+	return Admitted, nil
+}
+
+// AbandonWait withdraws a queued request whose wait timed out, counting
+// it as shed. It reports whether the request was still queued: false
+// means the slot was granted concurrently — the caller owns it and
+// proceeds as admitted.
+func (c *Core) AbandonWait(w *overload.Waiter, path string, now time.Time) bool {
+	c.ovMu.Lock()
+	ok := c.gate.Abandon(w)
+	tier := c.est.Tier()
+	c.ovMu.Unlock()
+	if ok {
+		c.shed(path, tier)
+	}
+	return ok
+}
+
+// shed counts one refused demand request and records the decision.
+func (c *Core) shed(path string, tier overload.Tier) {
+	c.stats.requests.Add(1)
+	c.stats.shed.Add(1)
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder(Record{
+			Seq:     c.seq.Add(1),
+			Conn:    -1,
+			Path:    path,
+			Tier:    tier,
+			Verdict: Shed,
+			Server:  -1,
+		})
+	}
+}
+
+// GateLeave releases an admission slot for a request that never routed
+// (the no-backend-available path). Any queued request granted the slot
+// has its grant callback run before GateLeave returns.
+func (c *Core) GateLeave() {
+	if c.gate == nil {
+		return
+	}
+	c.ovMu.Lock()
+	grant := c.gate.Leave()
+	c.ovMu.Unlock()
+	if grant != nil {
+		grant()
+	}
+}
+
+// FinishRequest feeds one completed demand request back to the overload
+// layer: the estimator's latency signal and the gate's freed slot. Any
+// queued request granted the slot has its grant callback run before
+// FinishRequest returns. No-op when the layer is disabled.
+func (c *Core) FinishRequest(now time.Time, latency time.Duration) {
+	if c.est == nil {
+		return
+	}
+	c.ovMu.Lock()
+	c.est.End(now, latency)
+	c.tierC.Store(int32(c.est.Tier()))
+	grant := c.gate.Leave()
+	c.ovMu.Unlock()
+	if grant != nil {
+		grant()
+	}
+}
+
+// Route runs the Fig. 4 front-end flow for one admitted request and
+// books the outcome: the session binds (or re-binds) to the chosen
+// backend, loads and in-flight state update, and in optimistic mode the
+// backend's locality map learns the file. Every Route with OK true must
+// be paired with exactly one Done; OK false means no backend was
+// available (the request was counted and released, not booked).
+func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
+	st, evicted := c.lookupSession(key)
+	c.closeIDs(evicted)
+	c.stats.requests.Add(1)
+
+	// Session snapshot for classification; the shard lock is released
+	// before polMu so view methods can take shard locks as leaves.
+	sh := c.sessionShardFor(key)
+	sh.mu.Lock()
+	lastPage := st.lastPage
+	sh.mu.Unlock()
+
+	c.polMu.Lock()
+	tier := overload.Normal
+	if c.est != nil {
+		c.ovMu.Lock()
+		tier = c.est.Tier()
+		c.ovMu.Unlock()
+	}
+
+	// From Saturated up the ladder stops the bundle-aware dispatcher
+	// bypass: requests route as plain (non-embedded) traffic.
+	embedded := false
+	if tier < overload.Saturated && c.cfg.Features.Bundle && c.cfg.Miner != nil &&
+		lastPage != "" && trace.IsEmbeddedPath(path) {
+		if parent, ok := c.cfg.Miner.Bundles.Parent(path); ok && parent == lastPage {
+			embedded = true
+		}
+	}
+
+	avail, navail := c.availMask(now)
+	if navail == 0 && c.cfg.WakeFallback != nil {
+		// Wake-on-demand: no backend is awake (e.g. the last active one
+		// crashed) — the adapter may bring one back.
+		if s, ok := c.cfg.WakeFallback(now); ok && s >= 0 && s < len(avail) {
+			avail[s] = true
+			navail = 1
+		}
+	}
+	if navail == 0 {
+		c.polMu.Unlock()
+		// Undo the session reservation: the request was never booked.
+		sh.mu.Lock()
+		if st.active > 0 {
+			st.active--
+		}
+		sh.mu.Unlock()
+		c.stats.unroutable.Add(1)
+		if c.cfg.Recorder != nil {
+			c.cfg.Recorder(Record{
+				Seq:     c.seq.Add(1),
+				Conn:    st.id,
+				Path:    path,
+				Tier:    tier,
+				Verdict: Admitted,
+				Server:  -1,
+			})
+		}
+		return Outcome{Conn: st.id, Server: -1, Source: -1, Tier: tier}
+	}
+
+	// From Saturated up, routing degrades to the locality-only fallback:
+	// cheap, cache-friendly placement with none of PRORD's machinery.
+	pol := c.pol
+	if tier >= overload.Saturated && c.fallback != nil {
+		pol = c.fallback
+	}
+
+	view := &coreView{c: c, avail: avail}
+	last, haveLast := view.LastServer(st.id)
+
+	var dec policy.Decision
+	if embedded && haveLast {
+		// The forward module (Fig. 4's dashed box) lives in the front-end
+		// flow, outside the policy: embedded objects follow the previous
+		// request directly, whatever the distribution policy.
+		dec = policy.Decision{Server: last, Source: -1}
+	} else {
+		dec = pol.Route(policy.Request{
+			Conn:     st.id,
+			Path:     path,
+			Size:     size,
+			Embedded: embedded,
+			First:    !haveLast,
+		}, view)
+	}
+	if dec.Server < 0 || dec.Server >= c.cfg.Backends {
+		panic(fmt.Sprintf("dispatch: policy %s routed to invalid server %d", pol.Name(), dec.Server))
+	}
+	// Load-blind policies (WRR) may still pick an unavailable backend;
+	// re-route to the least-loaded available one.
+	if !avail[dec.Server] {
+		best, found := -1, false
+		for i := range avail {
+			if !avail[i] {
+				continue
+			}
+			if !found || c.loadOf(i) < c.loadOf(best) {
+				best, found = i, true
+			}
+		}
+		dec.Server = best
+		dec.Handoff = true
+	}
+	if dec.Source >= 0 && !avail[dec.Source] {
+		dec.Source = -1
+	}
+
+	// Book the decision.
+	sh.mu.Lock()
+	hadServer := st.hasSrv
+	switched := hadServer && st.server != dec.Server
+	st.server = dec.Server
+	st.hasSrv = true
+	if !trace.IsEmbeddedPath(path) {
+		st.lastPage = path
+	}
+	sh.mu.Unlock()
+
+	if dec.Dispatch {
+		c.stats.dispatches.Add(1)
+	} else if hadServer {
+		c.stats.directForwards.Add(1)
+	}
+	if dec.Handoff {
+		c.stats.handoffs.Add(1)
+	}
+	if switched {
+		c.stats.switches.Add(1)
+	}
+	c.loads[dec.Server].Add(1)
+	c.perBackend[dec.Server].Add(1)
+
+	f := c.fileShardFor(path)
+	f.mu.Lock()
+	incFlight(f.inflight, path, dec.Server)
+	if !c.cfg.Exact && !trace.IsDynamicPath(path) {
+		// Optimistic locality: the backend will have the file hot after
+		// serving it, and any prefetch mark there is consumed by this
+		// demand request. Dynamic responses are uncacheable, so they
+		// never enter the locality view — matching exact mode, where
+		// residency only ever reports cached static files.
+		f.locality[dec.Server].Insert(path, 1)
+		delSet(f.prefetched, path, dec.Server)
+	}
+	f.mu.Unlock()
+
+	if c.est != nil {
+		c.ovMu.Lock()
+		c.est.Begin(now)
+		c.tierC.Store(int32(c.est.Tier()))
+		c.ovMu.Unlock()
+	}
+
+	out := Outcome{
+		Conn:      st.id,
+		Server:    dec.Server,
+		Source:    dec.Source,
+		Dispatch:  dec.Dispatch,
+		Handoff:   dec.Handoff,
+		Switched:  switched,
+		Embedded:  embedded,
+		HadServer: hadServer,
+		Tier:      tier,
+		OK:        true,
+	}
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder(Record{
+			Seq:      c.seq.Add(1),
+			Conn:     st.id,
+			Path:     path,
+			Tier:     tier,
+			Verdict:  Admitted,
+			Server:   dec.Server,
+			Embedded: embedded,
+			Dispatch: dec.Dispatch,
+			Handoff:  dec.Handoff,
+			Switched: switched,
+			Routed:   true,
+		})
+	}
+	c.polMu.Unlock()
+	return out
+}
+
+// Done releases one attempt's booking after it completes. failed marks
+// a backend 5xx, transport error or crash: in optimistic mode the
+// backend's locality claim for the file is dropped (the process behind
+// it may have lost its memory). retried marks a failover retry; a
+// successful retry counts as one completed failover.
+func (c *Core) Done(key string, server int, path string, failed, retried bool) {
+	c.loads[server].Add(-1)
+
+	sh := c.sessionShardFor(key)
+	sh.mu.Lock()
+	if st, ok := sh.byKey[key]; ok && st.active > 0 {
+		st.active--
+	}
+	sh.mu.Unlock()
+
+	f := c.fileShardFor(path)
+	f.mu.Lock()
+	decFlight(f.inflight, path, server)
+	if failed && !c.cfg.Exact {
+		f.locality[server].Remove(path)
+		delSet(f.prefetched, path, server)
+	}
+	f.mu.Unlock()
+
+	if failed {
+		c.stats.errors.Add(1)
+		return
+	}
+	if retried {
+		c.stats.failovers.Add(1)
+	}
+}
+
+// Rebook re-routes a request whose attempt on the excluded backend
+// failed: it picks the least-loaded available backend, re-pins the
+// session, and registers the retry in the routing state. ok is false
+// when no alternative backend exists.
+func (c *Core) Rebook(key, path string, exclude int, now time.Time) (server int, ok bool) {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	avail, _ := c.availMask(now)
+	best, found := -1, false
+	for i := range avail {
+		if i == exclude || !avail[i] {
+			continue
+		}
+		if !found || c.loadOf(i) < c.loadOf(best) {
+			best, found = i, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	sh := c.sessionShardFor(key)
+	sh.mu.Lock()
+	if st, okSt := sh.byKey[key]; okSt {
+		st.server = best
+		st.hasSrv = true
+		st.active++
+	}
+	sh.mu.Unlock()
+	c.loads[best].Add(1)
+	c.perBackend[best].Add(1)
+	c.stats.retries.Add(1)
+	f := c.fileShardFor(path)
+	f.mu.Lock()
+	incFlight(f.inflight, path, best)
+	if !c.cfg.Exact {
+		f.locality[best].Insert(path, 1)
+		delSet(f.prefetched, path, best)
+	}
+	f.mu.Unlock()
+	return best, true
+}
+
+// InvalidateBackend forgets everything the core believes about a
+// backend that crashed or whose breaker tripped: its locality state
+// (exact residency or the optimistic map — the process behind it
+// likely lost its memory), its prefetch marks, and every session
+// pinned to it, which must re-bind on its next request.
+func (c *Core) InvalidateBackend(server int) {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	for i := range c.fsh {
+		f := &c.fsh[i]
+		f.mu.Lock()
+		if c.cfg.Exact {
+			for file := range f.memory {
+				delSet(f.memory, file, server)
+			}
+		} else {
+			f.locality[server] = newShardLRU(c.cfg.LocalityEntries, c.nshards)
+		}
+		for file := range f.prefetched {
+			delSet(f.prefetched, file, server)
+		}
+		f.mu.Unlock()
+	}
+	for i := range c.ssh {
+		sh := &c.ssh[i]
+		sh.mu.Lock()
+		for _, st := range sh.byKey {
+			if st.hasSrv && st.server == server {
+				st.hasSrv = false
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -115,10 +115,7 @@ func TestFailoverMasksBackendCrash(t *testing.T) {
 	if h[0].Trips == 0 || h[0].ConsecutiveFailures < 2 {
 		t.Fatalf("breaker snapshot not tracking failures: %+v", h[0])
 	}
-	d.mu.Lock()
-	localityLen := d.locality[0].Len()
-	d.mu.Unlock()
-	if localityLen != 0 {
+	if localityLen := d.Core().LocalityLen(0); localityLen != 0 {
 		t.Fatalf("tripped backend still has %d locality entries; trip must invalidate them", localityLen)
 	}
 
@@ -201,18 +198,14 @@ func TestFailoverBookkeepingUnderChurn(t *testing.T) {
 				return
 			default:
 			}
-			d.mu.Lock()
-			for i, l := range d.loads {
+			for i, l := range d.Core().Loads() {
 				if l < 0 {
 					invariantErr.Store("negative load on backend " + strconv.Itoa(i))
 				}
 			}
-			for _, st := range d.sessions {
-				if st.active < 0 {
-					invariantErr.Store("negative session active count")
-				}
+			if _, _, problem := d.Core().SessionCheck(); problem != "" {
+				invariantErr.Store(problem)
 			}
-			d.mu.Unlock()
 			time.Sleep(time.Millisecond)
 		}
 	}()
@@ -269,28 +262,21 @@ func TestFailoverBookkeepingUnderChurn(t *testing.T) {
 	// Every request has returned, so the routing state must be drained.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		d.mu.Lock()
-		drained := len(d.inflight) == 0
-		for _, l := range d.loads {
+		drained := d.Core().InFlightFiles() == 0
+		for _, l := range d.Core().Loads() {
 			if l != 0 {
 				drained = false
 			}
 		}
-		for _, st := range d.sessions {
-			if st.active != 0 {
-				drained = false
-			}
+		if _, busy, _ := d.Core().SessionCheck(); busy != 0 {
+			drained = false
 		}
-		d.mu.Unlock()
 		if drained {
 			break
 		}
 		if time.Now().After(deadline) {
-			d.mu.Lock()
-			loads := append([]int(nil), d.loads...)
-			inflight := len(d.inflight)
-			d.mu.Unlock()
-			t.Fatalf("routing state not drained: loads=%v inflight=%d", loads, inflight)
+			t.Fatalf("routing state not drained: loads=%v inflight=%d",
+				d.Core().Loads(), d.Core().InFlightFiles())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -353,10 +339,7 @@ func TestSessionEvictionKeepsActiveSessions(t *testing.T) {
 	// Wait until the slow request is in flight.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		d.mu.Lock()
-		busy := d.loads[0] == 1
-		d.mu.Unlock()
-		if busy {
+		if d.Core().Loads()[0] == 1 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -372,29 +355,15 @@ func TestSessionEvictionKeepsActiveSessions(t *testing.T) {
 		c.CloseIdleConnections()
 	}
 
-	d.mu.Lock()
-	busyFound := false
-	for _, st := range d.sessions {
-		if st.active == 1 {
-			busyFound = st.hasSrv
-		}
+	total, busy, problem := d.Core().SessionCheck()
+	if busy != 1 {
+		t.Fatalf("busy sessions = %d, want 1 (the in-flight session was evicted or lost its binding)", busy)
 	}
-	tableLen, idLen := len(d.sessions), len(d.byID)
-	consistent := true
-	for _, st := range d.sessions {
-		if d.byID[st.id] != st {
-			consistent = false
-		}
+	if total > 3 {
+		t.Fatalf("session table grew to %d; idle eviction should keep it near MaxSessions", total)
 	}
-	d.mu.Unlock()
-	if !busyFound {
-		t.Fatal("the in-flight session was evicted (or lost its server binding)")
-	}
-	if tableLen > 3 {
-		t.Fatalf("session table grew to %d; idle eviction should keep it near MaxSessions", tableLen)
-	}
-	if idLen != tableLen || !consistent {
-		t.Fatalf("byID index inconsistent: %d sessions, %d ids", tableLen, idLen)
+	if problem != "" {
+		t.Fatalf("session table invariant violated: %s", problem)
 	}
 	close(release)
 	<-done

@@ -1,14 +1,18 @@
-// Package httpfront is a working HTTP/1.1 front-end distributor driven by
-// the same distribution policies as the simulator: a reverse proxy that
-// routes each request to one of a set of backend servers using WRR, LARD
-// or PRORD semantics, classifies embedded objects against mined bundles,
-// and issues prefetch hints to backends for predicted next pages.
+// Package httpfront is a working HTTP/1.1 front-end distributor driven
+// by the shared PRORD decision core (internal/dispatch): a reverse proxy
+// that routes each request to one of a set of backend servers using WRR,
+// LARD or PRORD semantics, classifies embedded objects against mined
+// bundles, and issues prefetch hints to backends for predicted next
+// pages. The core makes every routing decision — the same code the
+// discrete-event simulator runs — while this package owns the live
+// substrate: reverse proxies, circuit breakers, health probes, the
+// prefetch-hint channel and the wall clock.
 //
 // TCP handoff needs kernel support the paper assumes; the user-space
 // equivalent is reverse proxying, which this package uses. The
-// dispatcher's locality knowledge is approximated at the front-end: a
-// backend is assumed to hold a file in memory if it served (or was asked
-// to prefetch) that file recently.
+// dispatcher's locality knowledge is approximated at the front-end: the
+// core runs in optimistic mode, assuming a backend holds a file after
+// being routed (or asked to prefetch) it recently.
 package httpfront
 
 import (
@@ -17,12 +21,11 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
 
-	"prord/internal/cache"
+	"prord/internal/dispatch"
 	"prord/internal/health"
 	"prord/internal/mining"
 	"prord/internal/overload"
@@ -98,6 +101,10 @@ type Config struct {
 	// of PRORD's proactive work, and Critical-tier admission control.
 	// Nil disables the layer entirely (no behavior change).
 	Overload *overload.Config
+	// Recorder, when non-nil, receives every decision the dispatch core
+	// makes, in decision order (differential testing against the
+	// simulator).
+	Recorder func(dispatch.Record)
 }
 
 // Observation is one completed demand request as seen by the front-end:
@@ -115,8 +122,9 @@ type Observation struct {
 	Latency time.Duration
 }
 
-// Stats are the distributor's live counters, mirroring the simulator's
-// metrics.
+// Stats are the distributor's live counters, named like the
+// simulator's metrics because most are read straight off the shared
+// dispatch core; the prefetch-hint counters are adapter-side.
 type Stats struct {
 	Requests       int64 `json:"requests"`
 	Dispatches     int64 `json:"dispatches"`
@@ -167,44 +175,27 @@ type BackendHealth struct {
 }
 
 // Distributor is the front-end: an http.Handler that proxies each request
-// to a backend chosen by the distribution policy.
+// to a backend chosen by the shared dispatch core. It is the optimistic-
+// locality adapter: the core tracks residency in bounded per-backend LRU
+// maps, and breaker state feeds the core's availability view.
 type Distributor struct {
 	cfg         Config
+	core        *dispatch.Core
 	proxies     []*httputil.ReverseProxy
-	pol         policy.Policy
-	tracker     *mining.Tracker
 	prefetch    chan prefetchJob
 	retries     int
 	probeClient *http.Client
 
-	mu         sync.Mutex
-	loads      []int        // outstanding requests per backend
-	locality   []*cache.LRU // per backend: recently-served files
-	inflight   map[string]map[int]int
-	prefetched map[string]map[int]bool
-	sessions   map[string]*sessionState
-	byID       map[int]*sessionState
-	sessionSeq int
-	stats      Stats
-	breakers   []*health.Breaker // per-backend circuit breakers
-	probes     []int64           // per-backend probe counts
-	probeStop  chan struct{}
-
-	// Overload-control state (nil/unused when Config.Overload is nil).
-	// The estimator and gate are clock-injected/clockless state machines
-	// serialized by d.mu, like the breakers.
-	ovcfg    overload.Config
-	est      *overload.Estimator
-	gate     *overload.Gate
-	fallback policy.Policy // locality-only LARD for the Saturated tier
-}
-
-type sessionState struct {
-	id       int
-	server   int
-	hasSrv   bool
-	active   int // requests currently in flight for this session
-	lastPage string
+	// hmu guards the health substrate (breakers, probe counts) and the
+	// adapter-side prefetch counters. It is a leaf lock: the core may
+	// call the Available hook (which takes hmu) while holding its own
+	// locks, so nothing under hmu may call back into the core.
+	hmu           sync.Mutex
+	breakers      []*health.Breaker // per-backend circuit breakers
+	probes        []int64           // per-backend probe counts
+	hintsDropped  int64
+	prefetchFails int64
+	probeStop     chan struct{}
 }
 
 type prefetchJob struct {
@@ -219,12 +210,6 @@ func New(cfg Config) (*Distributor, error) {
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = policy.NewPRORD(policy.Thresholds{})
-	}
-	if cfg.LocalityEntries <= 0 {
-		cfg.LocalityEntries = 4096
-	}
-	if cfg.MaxSessions <= 0 {
-		cfg.MaxSessions = 65536
 	}
 	if cfg.Prefetch && cfg.Miner == nil {
 		return nil, fmt.Errorf("httpfront: Prefetch requires a Miner")
@@ -242,22 +227,15 @@ func New(cfg Config) (*Distributor, error) {
 		cfg.PrefetchTimeout = 5 * time.Second
 	}
 	d := &Distributor{
-		cfg:        cfg,
-		pol:        cfg.Policy,
-		retries:    1,
-		loads:      make([]int, len(cfg.Backends)),
-		inflight:   make(map[string]map[int]int),
-		prefetched: make(map[string]map[int]bool),
-		sessions:   make(map[string]*sessionState),
-		byID:       make(map[int]*sessionState),
-		probes:     make([]int64, len(cfg.Backends)),
+		cfg:     cfg,
+		retries: 1,
+		probes:  make([]int64, len(cfg.Backends)),
 	}
 	if cfg.Retries > 0 {
 		d.retries = cfg.Retries
 	} else if cfg.Retries < 0 {
 		d.retries = 0
 	}
-	d.stats.PerBackend = make([]int64, len(cfg.Backends))
 	for _, u := range cfg.Backends {
 		p := httputil.NewSingleHostReverseProxy(u)
 		// Surface transport-level failures as a bare 502 so the failover
@@ -267,24 +245,43 @@ func New(cfg Config) (*Distributor, error) {
 			w.WriteHeader(http.StatusBadGateway)
 		}
 		d.proxies = append(d.proxies, p)
-		// The locality map counts entries, not bytes: every file weighs 1.
-		d.locality = append(d.locality, cache.NewLRU(cfg.LocalityEntries))
 		d.breakers = append(d.breakers, health.NewBreaker(cfg.Health))
 	}
-	if cfg.Overload != nil {
-		oc := cfg.Overload.WithDefaults()
-		if err := oc.Validate(); err != nil {
-			return nil, fmt.Errorf("httpfront: %w", err)
-		}
-		d.ovcfg = oc
-		d.est = overload.NewEstimator(oc, len(cfg.Backends))
-		d.gate = overload.NewGate(oc.CapacityPerBackend*len(cfg.Backends), oc.QueueLimit)
-		d.fallback = policy.NewLARD(policy.Thresholds{})
+	dcfg := dispatch.Config{
+		Backends: len(cfg.Backends),
+		Policy:   cfg.Policy,
+		Miner:    cfg.Miner,
+		Features: dispatch.Features{
+			// Bundle classification only needs mined bundles; prefetch
+			// planning additionally needs the Prefetch switch (checked at
+			// PlanProactive call sites).
+			Bundle:        cfg.Miner != nil,
+			NavPrefetch:   cfg.Prefetch,
+			GroupPrefetch: cfg.Prefetch && cfg.Miner != nil && cfg.Miner.Categorizer != nil,
+		},
+		Exact:           false,
+		LocalityEntries: cfg.LocalityEntries,
+		MaxSessions:     cfg.MaxSessions,
+		Available: func(server int, now time.Time) bool {
+			d.hmu.Lock()
+			defer d.hmu.Unlock()
+			return d.breakers[server].Ready(now)
+		},
+		Overload: cfg.Overload,
+		Recorder: cfg.Recorder,
 	}
+	if cfg.Overload != nil {
+		// Saturated-tier routing degrades to locality-only LARD.
+		dcfg.Fallback = policy.NewLARD(policy.Thresholds{})
+	}
+	core, err := dispatch.New(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("httpfront: %w", err)
+	}
+	d.core = core
 	if cfg.Miner != nil && cfg.Prefetch {
-		d.tracker = mining.NewTracker(cfg.Miner.Model, true)
 		d.prefetch = make(chan prefetchJob, 256)
-		go d.prefetchLoop()
+		go d.prefetchLoop(d.prefetch)
 	}
 	if cfg.ProbeInterval > 0 {
 		d.probeClient = &http.Client{Timeout: cfg.ProbeTimeout}
@@ -294,432 +291,33 @@ func New(cfg Config) (*Distributor, error) {
 	return d, nil
 }
 
-// --- policy.View (callers must hold d.mu) ---
+// Core exposes the shared dispatch core (tests and diagnostics).
+func (d *Distributor) Core() *dispatch.Core { return d.core }
 
-type lockedView Distributor
-
-func (v *lockedView) NumServers() int { return len(v.loads) }
-func (v *lockedView) Load(i int) int  { return v.loads[i] }
-
-func (v *lockedView) ServersWith(file string) []int {
-	var out []int
-	for i, l := range v.locality {
-		if l.Contains(file) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-func (v *lockedView) PrefetchedAt(file string) []int {
-	var out []int
-	for s := range v.prefetched[file] {
-		out = append(out, s)
-	}
-	// Sorted so policies that pick the first candidate behave the same
-	// on every run instead of following map iteration order.
-	sort.Ints(out)
-	return out
-}
-
-func (v *lockedView) InFlight(file string) (int, bool) {
-	best, found := 0, false
-	for s, n := range v.inflight[file] {
-		if n > 0 && (!found || s < best) {
-			best, found = s, true
-		}
-	}
-	return best, found
-}
-
-func (v *lockedView) LastServer(conn int) (int, bool) {
-	if st, ok := v.byID[conn]; ok && st.hasSrv {
-		return st.server, true
-	}
-	return 0, false
-}
-
-// session returns (creating if needed) the session state for a client,
-// keyed by its transport connection (RemoteAddr is stable per keep-alive
-// connection).
-func (d *Distributor) session(key string) *sessionState {
-	st, ok := d.sessions[key]
-	if !ok {
-		if len(d.sessions) >= d.cfg.MaxSessions {
-			d.evictIdleSessions()
-		}
-		d.sessionSeq++
-		st = &sessionState{id: d.sessionSeq}
-		d.sessions[key] = st
-		d.byID[st.id] = st
-	}
-	return st
-}
-
-// evictIdleSessions is the pressure valve behind MaxSessions: it drops
-// every session with no request in flight, releasing the tracker's and
-// the policy's per-connection state for each evicted id so neither goes
-// stale. Sessions mid-request keep their LastServer binding; if every
-// session is busy the table temporarily grows past the bound instead of
-// yanking state out from under in-flight requests. Callers hold d.mu.
-func (d *Distributor) evictIdleSessions() {
-	for key, st := range d.sessions {
-		if st.active > 0 {
-			continue
-		}
-		delete(d.sessions, key)
-		delete(d.byID, st.id)
-		if d.tracker != nil {
-			d.tracker.Close(st.id)
-		}
-		if cc, ok := d.pol.(policy.ConnCloser); ok {
-			cc.ConnClose(st.id)
-		}
-	}
-}
-
-// route performs the Fig. 4 front-end flow for one request and returns
-// the chosen backend plus the prefetch jobs to enqueue (predicted next
-// page and the current page's bundle objects). It mutates the routing
-// state under d.mu. routed is false when every backend's breaker is
-// open: the request was counted but not booked anywhere, and the caller
-// must answer 503 immediately instead of feeding a dead cluster.
-func (d *Distributor) route(sessionKey, path string) (server int, jobs []prefetchJob, routed bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
-	now := time.Now()
-	st := d.session(sessionKey)
-	d.stats.Requests++
-
-	tier := overload.Normal
-	if d.est != nil {
-		tier = d.est.Tier()
-	}
-
-	// From Saturated up the ladder stops bundle-aware dispatcher bypass
-	// work: requests route as plain (non-embedded) traffic below.
-	embedded := false
-	if tier < overload.Saturated && d.cfg.Miner != nil && st.lastPage != "" && trace.IsEmbeddedPath(path) {
-		if parent, ok := d.cfg.Miner.Bundles.Parent(path); ok && parent == st.lastPage {
-			embedded = true
-		}
-	}
-
-	// Backends whose breakers are blocked are hidden from the policy.
-	ready := d.readyCount(now)
-	view := policy.View((*lockedView)(d))
-	if ready < len(d.loads) {
-		view = policy.Restrict(view, func(i int) bool { return !d.breakers[i].Ready(now) })
-		if policy.AllExcluded(view) {
-			// Every breaker is open: refuse fast instead of retrying into
-			// a dead cluster. Breakers re-admit trial traffic once their
-			// backoff expires, so this state clears itself.
-			d.stats.Unavailable++
-			return 0, nil, false
-		}
-	}
-
-	// From Saturated up, routing degrades to the locality-only LARD
-	// fallback: cheap, cache-friendly placement with none of PRORD's
-	// proactive machinery.
-	pol := d.pol
-	if tier >= overload.Saturated && d.fallback != nil {
-		pol = d.fallback
-	}
-
-	var dec policy.Decision
-	if embedded && st.hasSrv && d.breakers[st.server].Ready(now) {
-		dec = policy.Decision{Server: st.server, Source: -1}
-	} else {
-		dec = pol.Route(policy.Request{
-			Conn:     st.id,
-			Path:     path,
-			Embedded: embedded,
-			First:    !st.hasSrv,
-		}, view)
-	}
-	if !d.breakers[dec.Server].Ready(now) {
-		// A load-blind policy (WRR) named a blocked backend anyway:
-		// re-route to the least-loaded healthy one, exactly as the
-		// simulator's front-end does after a crash.
-		if s, ok := d.leastLoadedReady(dec.Server, now); ok {
-			dec.Server = s
-		}
-	}
-	d.breakers[dec.Server].Begin(now)
-	if d.est != nil {
-		d.est.Begin(now)
-	}
-	if dec.Dispatch {
-		d.stats.Dispatches++
-	} else if st.hasSrv {
-		d.stats.DirectForwards++
-	}
-	// Only genuine server switches are handoffs; a session's first
-	// assignment binds the connection without moving it.
-	if st.hasSrv && st.server != dec.Server {
-		d.stats.Handoffs++
-	}
-	st.server = dec.Server
-	st.hasSrv = true
-	st.active++
-	if !trace.IsEmbeddedPath(path) {
-		st.lastPage = path
-	}
-
-	d.loads[dec.Server]++
-	d.stats.PerBackend[dec.Server]++
-	m, ok := d.inflight[path]
-	if !ok {
-		m = make(map[int]int)
-		d.inflight[path] = m
-	}
-	m[dec.Server]++
-
-	// Record expected locality: the backend will have the file hot after
-	// serving it.
-	d.locality[dec.Server].Insert(path, 1)
-	if set, ok := d.prefetched[path]; ok {
-		delete(set, dec.Server)
-		if len(set) == 0 {
-			delete(d.prefetched, path)
-		}
-	}
-
-	// Proactive hints (PRORD's backend-side prefetching over HTTP): the
-	// current page's bundle objects, plus the predicted next page. The
-	// degrade ladder sheds this speculative work first: nothing is
-	// generated from Elevated up.
-	if d.tracker != nil && !trace.IsEmbeddedPath(path) && tier >= overload.Elevated {
-		d.stats.PrefetchShed++
-	}
-	if d.tracker != nil && !trace.IsEmbeddedPath(path) && tier < overload.Elevated {
-		admit := func(file string) {
-			if d.locality[dec.Server].Contains(file) || d.prefetched[file][dec.Server] {
-				return
-			}
-			addTo(d.prefetched, file, dec.Server)
-			d.stats.Prefetches++
-			jobs = append(jobs, prefetchJob{server: dec.Server, path: file})
-		}
-		for _, obj := range d.cfg.Miner.Bundles.Objects(path) {
-			admit(obj)
-		}
-		if pred, ok := d.tracker.Observe(st.id, path); ok && d.cfg.Miner.ShouldPrefetch(pred) {
-			admit(pred.Page)
-		}
-	}
-	return dec.Server, jobs, true
-}
-
-func addTo(m map[string]map[int]bool, file string, server int) {
-	set, ok := m[file]
-	if !ok {
-		set = make(map[int]bool)
-		m[file] = set
-	}
-	set[server] = true
-}
-
-// readyCount returns how many backends' breakers admit traffic at now.
-// Callers hold d.mu.
-func (d *Distributor) readyCount(now time.Time) int {
-	n := 0
-	for _, b := range d.breakers {
-		if b.Ready(now) {
-			n++
-		}
-	}
-	return n
-}
-
-// leastLoadedReady returns the least-loaded backend whose breaker admits
-// traffic at now, excluding `not` (pass -1 to exclude none). Callers
-// hold d.mu.
-func (d *Distributor) leastLoadedReady(not int, now time.Time) (int, bool) {
-	best, found := -1, false
-	for i := range d.loads {
-		if i == not || !d.breakers[i].Ready(now) {
-			continue
-		}
-		if !found || d.loads[i] < d.loads[best] {
-			best, found = i, true
-		}
-	}
-	return best, found
-}
-
-// done releases routing state after one proxied attempt completes and
-// feeds the outcome to the backend's breaker. retried marks a failover
-// retry (not the request's first attempt); a successful retry counts as
-// one completed failover.
-func (d *Distributor) done(sessionKey string, server int, path string, failed, retried bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	now := time.Now()
-	d.loads[server]--
-	if st, ok := d.sessions[sessionKey]; ok && st.active > 0 {
-		st.active--
-	}
-	if m, ok := d.inflight[path]; ok {
-		m[server]--
-		if m[server] <= 0 {
-			delete(m, server)
-		}
-		if len(m) == 0 {
-			delete(d.inflight, path)
-		}
-	}
-	if failed {
-		d.stats.Errors++
-		d.locality[server].Remove(path)
-		if set, ok := d.prefetched[path]; ok {
-			delete(set, server)
-			if len(set) == 0 {
-				delete(d.prefetched, path)
-			}
-		}
-		if d.breakers[server].OnFailure(now) {
-			d.invalidateBackend(server)
-		}
-		return
-	}
-	d.breakers[server].OnSuccess(now)
-	if retried {
-		d.stats.Failovers++
-	}
-}
-
-// invalidateBackend forgets everything optimistic about a backend whose
-// breaker just tripped: its locality map (the process behind it likely
-// lost its memory), its prefetched placements, and every session pinned
-// to it — mirroring the simulator's crash handling, where sticky
-// locality would otherwise keep steering sessions at the corpse.
-// Callers hold d.mu.
-func (d *Distributor) invalidateBackend(server int) {
-	d.locality[server] = cache.NewLRU(d.cfg.LocalityEntries)
-	for file, set := range d.prefetched {
-		delete(set, server)
-		if len(set) == 0 {
-			delete(d.prefetched, file)
-		}
-	}
-	for _, st := range d.sessions {
-		if st.hasSrv && st.server == server {
-			st.hasSrv = false
-		}
-	}
-}
-
-// failover re-books a request whose attempt on `failed` errored: it
-// picks the least-loaded backend admitting traffic, re-pins the session,
-// and registers the retry in the routing state. It reports false when no
-// alternative backend exists (the buffered failure should then be
-// delivered to the client).
-func (d *Distributor) failover(sessionKey, path string, failed int) (int, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	now := time.Now()
-	next, ok := d.leastLoadedReady(failed, now)
-	if !ok {
-		return 0, false
-	}
-	d.breakers[next].Begin(now)
-	if st, ok := d.sessions[sessionKey]; ok {
-		st.server = next
-		st.hasSrv = true
-		st.active++
-	}
-	d.loads[next]++
-	d.stats.PerBackend[next]++
-	d.stats.Retries++
-	m, ok := d.inflight[path]
-	if !ok {
-		m = make(map[int]int)
-		d.inflight[path] = m
-	}
-	m[next]++
-	d.locality[next].Insert(path, 1)
-	if set, ok := d.prefetched[path]; ok {
-		delete(set, next)
-		if len(set) == 0 {
-			delete(d.prefetched, path)
-		}
-	}
-	return next, true
-}
-
-// enqueuePrefetch hands jobs to the background prefetcher. The channel
-// is read under the lock so a concurrent Close can never race the send.
-func (d *Distributor) enqueuePrefetch(jobs []prefetchJob) {
-	if len(jobs) == 0 {
-		return
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.prefetch == nil {
-		return
-	}
-	for _, job := range jobs {
-		select {
-		case d.prefetch <- job:
-		default:
-			// The prefetch queue is best-effort; drop under pressure, but
-			// visibly — a saturated hint queue is an overload signal.
-			d.stats.PrefetchHintsDropped++
-		}
-	}
-}
-
-// admit runs Critical-tier admission control for one demand request.
-// Below Critical — or for an embedded-object request of a session that
-// already has a backend (its page was admitted; refusing its images
-// only breaks a response already promised) — the request is admitted
-// unconditionally. At Critical it takes a gate slot, waiting in the
-// bounded accept queue up to QueueTimeout if the gate is full. False
-// means the request was shed (counted, never proxied).
-func (d *Distributor) admit(sessionKey, path string) bool {
-	d.mu.Lock()
-	if d.gate == nil {
-		d.mu.Unlock()
-		return true
-	}
-	enforce := d.est.Tier() == overload.Critical
-	if enforce {
-		if st, ok := d.sessions[sessionKey]; ok && st.hasSrv && trace.IsEmbeddedPath(path) {
-			enforce = false
-		}
-	}
-	wait, ok := d.gate.Enter(enforce)
-	if !ok {
-		d.stats.Requests++
-		d.stats.Shed++
-		d.mu.Unlock()
+// admit runs the core's admission control for one demand request,
+// waiting in the bounded accept queue up to QueueTimeout when the
+// Critical-tier gate is full. False means the request was shed (counted,
+// never proxied).
+func (d *Distributor) admit(key, path string) bool {
+	granted := make(chan struct{})
+	verdict, w := d.core.Admit(key, path, time.Now(), func() { close(granted) })
+	switch verdict {
+	case dispatch.Shed:
 		return false
-	}
-	d.mu.Unlock()
-	if wait == nil {
+	case dispatch.Queued:
+		t := time.NewTimer(d.core.QueueTimeout())
+		defer t.Stop()
+		select {
+		case <-granted:
+			return true
+		case <-t.C:
+		}
+		// The slot may have been granted while the timer fired; if so the
+		// abandon fails and we own the slot.
+		return !d.core.AbandonWait(w, path, time.Now())
+	default:
 		return true
 	}
-	// Queued: wait outside the lock for a freed slot, bounded by the
-	// configured queue timeout.
-	t := time.NewTimer(d.ovcfg.QueueTimeout)
-	defer t.Stop()
-	select {
-	case <-wait:
-		return true
-	case <-t.C:
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if !d.gate.Abandon(wait) {
-		// The slot was granted while the timer fired; keep it.
-		return true
-	}
-	d.stats.Requests++
-	d.stats.Shed++
-	return false
 }
 
 // reject answers a demand request the front-end refuses to proxy. shed
@@ -727,11 +325,7 @@ func (d *Distributor) admit(sessionKey, path string) bool {
 // ShedHeader so clients and load generators can tell it from a
 // failure); without it the refusal is the all-breakers-open fast 503.
 func (d *Distributor) reject(w http.ResponseWriter, shed bool) {
-	retry := 1
-	if d.gate != nil {
-		retry = d.ovcfg.RetryAfter
-	}
-	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Retry-After", strconv.Itoa(d.core.RetryAfter()))
 	msg := "no healthy backend available"
 	if shed {
 		w.Header().Set(ShedHeader, "1")
@@ -740,27 +334,55 @@ func (d *Distributor) reject(w http.ResponseWriter, shed bool) {
 	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
-// gateLeave releases an admission slot for a request that never routed
-// (the all-breakers-open path).
-func (d *Distributor) gateLeave() {
-	if d.gate == nil {
-		return
-	}
-	d.mu.Lock()
-	d.gate.Leave()
-	d.mu.Unlock()
+// beginAttempt opens one proxied attempt on a backend's breaker.
+func (d *Distributor) beginAttempt(server int) {
+	d.hmu.Lock()
+	d.breakers[server].Begin(time.Now())
+	d.hmu.Unlock()
 }
 
-// overloadDone feeds one completed demand request back to the overload
-// layer: the estimator's latency signal and the gate's freed slot.
-func (d *Distributor) overloadDone(latency time.Duration) {
-	if d.est == nil {
+// endAttempt feeds one proxied attempt's outcome to the backend's
+// breaker; a trip invalidates the core's optimistic knowledge of the
+// backend (locality, prefetch marks, session pins) — the same
+// InvalidateBackend the simulator's crash handling calls, since sticky
+// locality would otherwise keep steering sessions at the corpse.
+func (d *Distributor) endAttempt(server int, failed bool) {
+	now := time.Now()
+	d.hmu.Lock()
+	tripped := false
+	if failed {
+		tripped = d.breakers[server].OnFailure(now)
+	} else {
+		d.breakers[server].OnSuccess(now)
+	}
+	d.hmu.Unlock()
+	if tripped {
+		d.core.InvalidateBackend(server)
+	}
+}
+
+// enqueuePrefetch hands a proactive plan to the background prefetcher.
+// The channel is read under the lock so a concurrent Close can never
+// race the send.
+func (d *Distributor) enqueuePrefetch(plan dispatch.Plan) {
+	files := plan.Files()
+	if len(files) == 0 {
 		return
 	}
-	d.mu.Lock()
-	d.est.End(time.Now(), latency)
-	d.gate.Leave()
-	d.mu.Unlock()
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if d.prefetch == nil {
+		return
+	}
+	for _, file := range files {
+		select {
+		case d.prefetch <- prefetchJob{server: plan.Server, path: file}:
+		default:
+			// The prefetch queue is best-effort; drop under pressure, but
+			// visibly — a saturated hint queue is an overload signal.
+			d.hintsDropped++
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler. A failed attempt (backend 5xx or
@@ -772,18 +394,24 @@ func (d *Distributor) overloadDone(latency time.Duration) {
 // admission; with every breaker open it is refused immediately.
 func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// RemoteAddr is stable per keep-alive connection, making it the
+	// session key.
 	key, path := r.RemoteAddr, r.URL.Path
 	if !d.admit(key, path) {
 		d.reject(w, true)
 		return
 	}
-	server, jobs, routed := d.route(key, path)
-	if !routed {
-		d.gateLeave()
+	out := d.core.Route(key, path, 0, time.Now())
+	if !out.OK {
+		// Every breaker is open: refuse fast instead of retrying into a
+		// dead cluster. Breakers re-admit trial traffic once their
+		// backoff expires, so this state clears itself.
+		d.core.GateLeave()
 		d.reject(w, false)
 		return
 	}
-	d.enqueuePrefetch(jobs)
+	server := out.Server
+	d.beginAttempt(server)
 	retries := 0
 	if r.Method == http.MethodGet || r.Method == http.MethodHead {
 		retries = d.retries
@@ -794,20 +422,30 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rec.Header().Set(BackendHeader, strconv.Itoa(server))
 		d.proxies[server].ServeHTTP(rec, r)
 		failed := rec.status >= http.StatusInternalServerError
-		d.done(key, server, path, failed, attempt > 0)
+		d.core.Done(key, server, path, failed, attempt > 0)
+		d.endAttempt(server, failed)
 		if !failed || !rec.discarded {
 			break
 		}
-		next, ok := d.failover(key, path, server)
+		next, ok := d.core.Rebook(key, path, server, time.Now())
 		if !ok {
 			// No healthy alternative: deliver the buffered failure.
 			rec.release()
 			break
 		}
 		server = next
+		d.beginAttempt(server)
 	}
 	latency := time.Since(start)
-	d.overloadDone(latency)
+	d.core.FinishRequest(time.Now(), latency)
+	// PRORD's proactive pass (bundle, navigation, category prefetch over
+	// HTTP hints) runs after the page is served, like the simulator's
+	// backend-side prefetching.
+	if d.prefetch != nil && !trace.IsEmbeddedPath(path) {
+		if plan, ok := d.core.PlanProactive(key, server, path, time.Now()); ok {
+			d.enqueuePrefetch(plan)
+		}
+	}
 	if d.cfg.Observe != nil {
 		d.cfg.Observe(Observation{
 			Backend: server,
@@ -912,13 +550,15 @@ func (s *statusRecorder) release() {
 	io.WriteString(s.dst, http.StatusText(code)+"\n")
 }
 
-// prefetchLoop sends prefetch hints to backends in the background.
-func (d *Distributor) prefetchLoop() {
+// prefetchLoop sends prefetch hints to backends in the background. The
+// channel is passed in rather than read off the struct so the loop
+// never touches the field Close nils out under the lock.
+func (d *Distributor) prefetchLoop(jobs <-chan prefetchJob) {
 	// The timeout keeps one hung backend from stalling the single
 	// prefetch goroutine — and with it all prefetching — forever; an
 	// expired hint is simply dropped.
 	client := &http.Client{Timeout: d.cfg.PrefetchTimeout}
-	for job := range d.prefetch {
+	for job := range jobs {
 		if d.backendBlocked(job.server) {
 			// Speculative work is shed first under degradation: no
 			// hints to backends with tripped breakers.
@@ -933,9 +573,9 @@ func (d *Distributor) prefetchLoop() {
 		req.Header.Set(PrefetchHeader, "1")
 		resp, err := client.Do(req)
 		if err != nil {
-			d.mu.Lock()
-			d.stats.Errors++
-			d.mu.Unlock()
+			d.hmu.Lock()
+			d.prefetchFails++
+			d.hmu.Unlock()
 			continue
 		}
 		resp.Body.Close()
@@ -944,8 +584,8 @@ func (d *Distributor) prefetchLoop() {
 
 // backendBlocked reports whether a backend's breaker is not closed.
 func (d *Distributor) backendBlocked(server int) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
 	return d.breakers[server].State() != health.Closed
 }
 
@@ -954,24 +594,24 @@ func (d *Distributor) backendBlocked(server int) bool {
 // traffic already exercises them, and the fault-free path stays
 // byte-for-byte identical with probing on or off.
 func (d *Distributor) probeOnce() {
-	d.mu.Lock()
+	d.hmu.Lock()
 	var targets []int
 	for i, b := range d.breakers {
 		if b.State() != health.Closed {
 			targets = append(targets, i)
 		}
 	}
-	d.mu.Unlock()
+	d.hmu.Unlock()
 	for _, i := range targets {
 		ok := d.probeBackend(i)
-		d.mu.Lock()
+		d.hmu.Lock()
 		d.probes[i]++
 		if ok {
 			d.breakers[i].OnSuccess(time.Now())
 		} else {
 			d.breakers[i].OnFailure(time.Now())
 		}
-		d.mu.Unlock()
+		d.hmu.Unlock()
 	}
 }
 
@@ -993,13 +633,30 @@ func (d *Distributor) probeBackend(i int) bool {
 	return resp.StatusCode < http.StatusInternalServerError
 }
 
-// Stats returns a snapshot of the live counters.
+// Stats returns a snapshot of the live counters, read off the dispatch
+// core plus the adapter's prefetch-hint counters.
 func (d *Distributor) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s := d.stats
-	s.PerBackend = append([]int64(nil), d.stats.PerBackend...)
-	return s
+	cs := d.core.Stats()
+	d.hmu.Lock()
+	dropped, pfails := d.hintsDropped, d.prefetchFails
+	d.hmu.Unlock()
+	return Stats{
+		Requests:       cs.Requests,
+		Dispatches:     cs.Dispatches,
+		DirectForwards: cs.DirectForwards,
+		// The live handoff metric counts genuine server switches of
+		// bound connections, not first bindings.
+		Handoffs:             cs.Switches,
+		Prefetches:           cs.Prefetches,
+		Errors:               cs.Errors + pfails,
+		Failovers:            cs.Failovers,
+		Retries:              cs.Retries,
+		Shed:                 cs.Shed,
+		PrefetchShed:         cs.PrefetchShed,
+		PrefetchHintsDropped: dropped,
+		Unavailable:          cs.Unroutable,
+		PerBackend:           cs.PerBackend,
+	}
 }
 
 // OverloadState is the overload layer's observable state as exposed on
@@ -1020,24 +677,23 @@ type OverloadState struct {
 // Overload returns the overload layer's snapshot, or nil when the layer
 // is disabled.
 func (d *Distributor) Overload() *OverloadState {
-	if d.est == nil {
+	snap, ok := d.core.Overload()
+	if !ok {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return &OverloadState{
-		Tier:        d.est.Tier().String(),
-		Pressure:    d.est.Pressure(),
-		InFlight:    d.gate.InFlight(),
-		Queued:      d.gate.Queued(),
-		Transitions: d.est.Transitions(),
+		Tier:        snap.Tier.String(),
+		Pressure:    snap.Pressure,
+		InFlight:    snap.InFlight,
+		Queued:      snap.Queued,
+		Transitions: snap.Transitions,
 	}
 }
 
 // Health returns per-backend breaker snapshots in backend order.
 func (d *Distributor) Health() []BackendHealth {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
 	out := make([]BackendHealth, len(d.breakers))
 	for i, b := range d.breakers {
 		s := b.Snapshot()
@@ -1058,12 +714,12 @@ func (d *Distributor) Health() []BackendHealth {
 // call concurrently with in-flight requests: senders check the channel
 // under the lock, so the close cannot race an enqueue.
 func (d *Distributor) Close() {
-	d.mu.Lock()
+	d.hmu.Lock()
 	ch := d.prefetch
 	d.prefetch = nil
 	stop := d.probeStop
 	d.probeStop = nil
-	d.mu.Unlock()
+	d.hmu.Unlock()
 	if ch != nil {
 		close(ch)
 	}

@@ -289,10 +289,7 @@ func TestSessionPressureValve(t *testing.T) {
 		get(t, c, front.URL, "/a.html")
 		c.CloseIdleConnections()
 	}
-	d.mu.Lock()
-	n := len(d.sessions)
-	d.mu.Unlock()
-	if n > 2 {
+	if n := d.Core().SessionCount(); n > 2 {
 		t.Fatalf("session table grew to %d despite MaxSessions=2", n)
 	}
 	if d.Stats().Requests != 5 {
@@ -342,10 +339,7 @@ func TestBackendErrorCounted(t *testing.T) {
 		t.Fatalf("Failovers/Retries = %d/%d, want 1/1", st.Failovers, st.Retries)
 	}
 	// The failed path must not be remembered as resident on backend 0.
-	d.mu.Lock()
-	resident := d.locality[0].Contains("/a.html")
-	d.mu.Unlock()
-	if resident {
+	if d.Core().LocalityContains(0, "/a.html") {
 		t.Fatal("failed response left a stale locality entry")
 	}
 
@@ -375,10 +369,7 @@ func TestLocalityEntriesBound(t *testing.T) {
 	for _, p := range []string{"/a.html", "/a.gif", "/b.html", "/b.gif"} {
 		get(t, client, front.URL, p)
 	}
-	d.mu.Lock()
-	n := d.locality[0].Len()
-	d.mu.Unlock()
-	if n > 2 {
+	if n := d.Core().LocalityLen(0); n > 2 {
 		t.Fatalf("locality map grew to %d entries despite bound 2", n)
 	}
 }
@@ -390,7 +381,7 @@ func TestDistributorDefaultPolicyIsPRORD(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	if d.pol.Name() != "PRORD" {
-		t.Fatalf("default policy = %s, want PRORD", d.pol.Name())
+	if d.cfg.Policy.Name() != "PRORD" {
+		t.Fatalf("default policy = %s, want PRORD", d.cfg.Policy.Name())
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"prord/internal/dispatch"
 	"prord/internal/health"
 	"prord/internal/overload"
 )
@@ -278,7 +279,10 @@ func TestOverloadEmbeddedBypassNeverShed(t *testing.T) {
 }
 
 // TestOverloadElevatedShedsPrefetch: from Elevated up, no prefetch
-// hints are generated and the suppression is counted.
+// hints are generated and the suppression is counted. The proactive
+// pass runs after the response completes — the same discipline as the
+// simulator — so a request that itself lifts the ladder to Elevated
+// has its own pass shed.
 func TestOverloadElevatedShedsPrefetch(t *testing.T) {
 	d, front, _ := testCluster(t, 2, Config{
 		Miner:    testMiner(),
@@ -292,22 +296,19 @@ func TestOverloadElevatedShedsPrefetch(t *testing.T) {
 		},
 	})
 	client := front.Client()
-	// First request routes at Normal (tier is read before the estimator
-	// sees the request) and generates bundle hints; it also lifts the
-	// tier to Elevated, held by MinHold.
+	// Each request lifts the tier to Elevated before it completes, and
+	// MinHold keeps it there, so every proactive pass is suppressed.
 	get(t, client, front.URL, "/a.html")
-	st := d.Stats()
-	if st.Prefetches == 0 {
-		t.Fatal("first request at Normal generated no hints")
-	}
-	before := st.Prefetches
 	get(t, client, front.URL, "/b.html")
-	st = d.Stats()
-	if st.PrefetchShed == 0 {
-		t.Error("Elevated tier did not count the suppressed prefetch pass")
+	st := d.Stats()
+	if st.PrefetchShed != 2 {
+		t.Errorf("PrefetchShed = %d, want 2 (one suppressed pass per page)", st.PrefetchShed)
 	}
-	if st.Prefetches != before {
-		t.Errorf("Elevated tier still generated hints: %d -> %d", before, st.Prefetches)
+	if st.Prefetches != 0 {
+		t.Errorf("Elevated tier still generated hints: %d", st.Prefetches)
+	}
+	if ov := d.Overload(); ov == nil || ov.Tier != "elevated" {
+		t.Errorf("overload state = %+v, want elevated tier held by MinHold", ov)
 	}
 }
 
@@ -388,10 +389,10 @@ func TestPrefetchHintsDroppedCounted(t *testing.T) {
 	defer d.Close()
 	// White-box: install a tiny hint queue with no drainer so the second
 	// hint must hit the default case.
-	d.mu.Lock()
+	d.hmu.Lock()
 	d.prefetch = make(chan prefetchJob, 1)
-	d.mu.Unlock()
-	d.enqueuePrefetch([]prefetchJob{{server: 0, path: "/a.gif"}, {server: 0, path: "/b.gif"}})
+	d.hmu.Unlock()
+	d.enqueuePrefetch(dispatch.Plan{Server: 0, Bundle: []string{"/a.gif", "/b.gif"}})
 	if st := d.Stats(); st.PrefetchHintsDropped != 1 {
 		t.Fatalf("PrefetchHintsDropped = %d, want 1", st.PrefetchHintsDropped)
 	}

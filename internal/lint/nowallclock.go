@@ -15,6 +15,7 @@ import (
 var simulatedTimePackages = []string{
 	"internal/sim",
 	"internal/cluster",
+	"internal/dispatch",
 	"internal/policy",
 	"internal/replicate",
 	"internal/health",

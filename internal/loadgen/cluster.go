@@ -73,8 +73,9 @@ type liveCluster struct {
 }
 
 // startCluster boots backends and the front-end for one policy. The
-// mined model (and prefetching) is wired in only for PRORD, mirroring
-// the simulator's feature gating: baselines route on policy state alone.
+// mined model (and prefetching) is wired in only for PRORD, matching
+// the sim comparison's feature gating: baselines route on policy state
+// alone.
 func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 	c := &liveCluster{obs: &observer{}}
 	ok := false

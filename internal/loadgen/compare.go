@@ -80,6 +80,7 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 	}
 	sim.ThroughputDeltaPct = metrics.DeltaPct(live.ThroughputRPS, sim.ThroughputRPS)
 	sim.MeanLatencyDeltaPct = metrics.DeltaPct(float64(live.Latency.MeanUS), float64(sim.MeanUS))
+	sim.ShedDeltaPct = metrics.DeltaPct(float64(live.Shed), float64(sim.Shed))
 	return sim, nil
 }
 

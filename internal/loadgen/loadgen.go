@@ -180,8 +180,9 @@ type Config struct {
 
 	// Overload enables the front-end's load estimator, degrade ladder and
 	// admission control (httpfront.Config.Overload); with CompareSim the
-	// same configuration drives the simulator's overload mirror so shed
-	// counts and tier transitions can be compared. Nil disables both.
+	// same configuration drives the decision core's ladder in the
+	// simulator run so shed counts and tier transitions can be compared.
+	// Nil disables both.
 	Overload *overload.Config
 
 	// CompareSim runs the discrete-event simulator on the same workload

@@ -120,9 +120,9 @@ func TestRampScheduleDeterministic(t *testing.T) {
 // open-loop ramp to ~2x the admission capacity. The run must stay
 // error-free (sheds are not errors), shed demand via 503s, shed
 // proactive work no later than the first 503 (Elevated precedes
-// Critical on a monotone ladder), and the simulator's mirror must agree
-// that substantial shedding occurred (the documented tolerance in
-// DESIGN.md §5e — within an order of magnitude, not equality).
+// Critical on a monotone ladder), and the simulator run must agree
+// that substantial shedding occurred (within an order of magnitude,
+// not equality — the residual is the artifact's shed_delta_pct field).
 func TestOverloadRampAcceptance(t *testing.T) {
 	h, err := New(rampConfig())
 	if err != nil {
@@ -175,18 +175,22 @@ func TestOverloadRampAcceptance(t *testing.T) {
 	}
 	checkMonotone("sim", run.Sim.TierTransitions)
 	if run.Sim.Shed == 0 {
-		t.Fatal("sim mirror shed nothing on the same ramp")
+		t.Fatal("simulator shed nothing on the same ramp")
 	}
 	if run.Sim.PrefetchShed == 0 {
-		t.Error("sim mirror shed no proactive work")
+		t.Error("simulator shed no proactive work")
 	}
-	// Live and sim model admission differently (real accept queue vs
-	// in-flight headroom) and run on different service-time models, so
-	// the contract is order-of-magnitude agreement, not equality.
+	// Both sides run the decision core's bounded accept queue, but the
+	// service-time models differ, so the contract is order-of-magnitude
+	// agreement, not equality; the residual is an explicit artifact field.
 	ratio := float64(run.Shed) / float64(run.Sim.Shed)
 	if ratio < 1.0/12 || ratio > 12 {
 		t.Errorf("live shed %d vs sim shed %d outside the documented 12x tolerance",
 			run.Shed, run.Sim.Shed)
+	}
+	if want := metrics.DeltaPct(float64(run.Shed), float64(run.Sim.Shed)); run.Sim.ShedDeltaPct != want {
+		t.Errorf("shed_delta_pct = %v, want %v (live %d vs sim %d)",
+			run.Sim.ShedDeltaPct, want, run.Shed, run.Sim.Shed)
 	}
 
 	var table bytes.Buffer
@@ -279,6 +283,7 @@ func TestRampArtifactStableSections(t *testing.T) {
 		sim := *res.Runs[0].Sim
 		sim.ThroughputDeltaPct = 0
 		sim.MeanLatencyDeltaPct = 0
+		sim.ShedDeltaPct = 0
 		sections, err := json.Marshal(struct {
 			Config   any
 			Workload any

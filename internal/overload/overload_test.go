@@ -179,38 +179,44 @@ func TestEstimatorUpSkipsTiers(t *testing.T) {
 
 func TestGateAdmitQueueRefuse(t *testing.T) {
 	g := NewGate(2, 1)
-	if _, ok := g.Enter(true); !ok {
+	if _, ok := g.Enter(true, nil); !ok {
 		t.Fatal("first request refused")
 	}
-	if _, ok := g.Enter(true); !ok {
+	if _, ok := g.Enter(true, nil); !ok {
 		t.Fatal("second request refused under limit")
 	}
 	if g.InFlight() != 2 {
 		t.Fatalf("in flight = %d, want 2", g.InFlight())
 	}
 	// Third queues, fourth is refused.
-	wait, ok := g.Enter(true)
+	granted := false
+	wait, ok := g.Enter(true, func() { granted = true })
 	if !ok || wait == nil {
 		t.Fatalf("third request: wait=%v ok=%v, want queued", wait, ok)
 	}
 	if g.Queued() != 1 {
 		t.Fatalf("queued = %d, want 1", g.Queued())
 	}
-	if ch, ok := g.Enter(true); ok || ch != nil {
+	if w, ok := g.Enter(true, nil); ok || w != nil {
 		t.Fatal("fourth request admitted past the queue limit")
 	}
 	// A Leave hands the slot to the queue head without dropping the
-	// in-flight count.
-	g.Leave()
-	select {
-	case <-wait:
-	default:
+	// in-flight count; the head's grant callback comes back to run
+	// outside the owner's mutex.
+	if grant := g.Leave(); grant == nil {
+		t.Fatal("Leave with a queued waiter returned no grant")
+	} else {
+		grant()
+	}
+	if !granted {
 		t.Fatal("queued request not granted after Leave")
 	}
 	if g.InFlight() != 2 || g.Queued() != 0 {
 		t.Fatalf("after grant: inflight=%d queued=%d, want 2/0", g.InFlight(), g.Queued())
 	}
-	g.Leave()
+	if grant := g.Leave(); grant != nil {
+		t.Fatal("Leave with an empty queue returned a grant")
+	}
 	g.Leave()
 	if g.InFlight() != 0 {
 		t.Fatalf("in flight = %d, want 0 after draining", g.InFlight())
@@ -219,19 +225,19 @@ func TestGateAdmitQueueRefuse(t *testing.T) {
 
 func TestGateBypassNotEnforced(t *testing.T) {
 	g := NewGate(1, 0)
-	if _, ok := g.Enter(true); !ok {
+	if _, ok := g.Enter(true, nil); !ok {
 		t.Fatal("first request refused")
 	}
 	// Non-enforced entries (embedded-object bypass, lower tiers) are
 	// always admitted, even past the limit — but still counted so Leave
 	// stays balanced.
-	if _, ok := g.Enter(false); !ok {
+	if _, ok := g.Enter(false, nil); !ok {
 		t.Fatal("bypass request refused")
 	}
 	if g.InFlight() != 2 {
 		t.Fatalf("in flight = %d, want 2", g.InFlight())
 	}
-	if _, ok := g.Enter(true); ok {
+	if _, ok := g.Enter(true, nil); ok {
 		t.Fatal("enforced request admitted with no queue and full gate")
 	}
 	g.Leave()
@@ -243,9 +249,10 @@ func TestGateBypassNotEnforced(t *testing.T) {
 
 func TestGateAbandon(t *testing.T) {
 	g := NewGate(1, 2)
-	g.Enter(true)
-	w1, _ := g.Enter(true)
-	w2, _ := g.Enter(true)
+	g.Enter(true, nil)
+	w2granted := false
+	w1, _ := g.Enter(true, func() { t.Fatal("abandoned waiter granted") })
+	w2, _ := g.Enter(true, func() { w2granted = true })
 	if g.Queued() != 2 {
 		t.Fatalf("queued = %d, want 2", g.Queued())
 	}
@@ -254,10 +261,10 @@ func TestGateAbandon(t *testing.T) {
 	if !g.Abandon(w1) {
 		t.Fatal("abandon of a queued request reported already-granted")
 	}
-	g.Leave()
-	select {
-	case <-w2:
-	default:
+	if grant := g.Leave(); grant != nil {
+		grant()
+	}
+	if !w2granted {
 		t.Fatal("remaining queued request not granted")
 	}
 	// w2's slot was granted, so abandoning it now must report false and
