@@ -3,18 +3,23 @@
 //
 // Usage:
 //
-//	prordlint ./...                     # whole module, all analyzers
-//	prordlint -json ./internal/sim      # machine-readable findings
-//	prordlint -disable maporder ./...   # all but one analyzer
-//	prordlint -enable norand,noprint .  # just these two
-//	prordlint -list                     # describe the analyzers
+//	prordlint ./...                          # whole module, all analyzers
+//	prordlint -json ./internal/sim           # machine-readable findings
+//	prordlint -sarif out.sarif ./...         # SARIF 2.1.0 log ("-" = stdout)
+//	prordlint -baseline lint.baseline.json ./...   # gate on non-baselined findings
+//	prordlint -baseline lint.baseline.json -write-baseline ./...  # regenerate
+//	prordlint -disable maporder ./...        # all but one analyzer
+//	prordlint -enable norand,noprint .       # just these two
+//	prordlint -list                          # describe the analyzers
 //
 // Findings print as file:line:col: [analyzer] message. Suppress an
 // intentional violation in source with:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// on the offending line or the line above it. Exit status: 0 clean,
+// on the offending line or the line above it. With -baseline, findings
+// matching a committed baseline entry are grandfathered: they appear in
+// the SARIF log but do not gate the exit status. Exit status: 0 clean,
 // 1 findings, 2 usage or load error.
 package main
 
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,17 +35,21 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("prordlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		verbose = fs.Bool("v", false, "also report type-check errors encountered while loading")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut  = fs.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+		baseline  = fs.String("baseline", "", "baseline file; findings matching it do not gate the exit status")
+		writeBase = fs.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit")
+		enable    = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		verbose   = fs.Bool("v", false, "also report type-check errors encountered while loading")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: prordlint [flags] [packages]\n")
@@ -51,14 +61,23 @@ func run(args []string) int {
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			scope := "package"
+			if a.WholeProgram {
+				scope = "program"
+			}
+			fmt.Fprintf(stdout, "%-14s [%s] %s\n", a.Name, scope, a.Doc)
 		}
 		return 0
 	}
 
+	if *writeBase && *baseline == "" {
+		fmt.Fprintln(stderr, "prordlint: -write-baseline requires -baseline <file>")
+		return 2
+	}
+
 	analyzers, err := selectAnalyzers(*enable, *disable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prordlint:", err)
+		fmt.Fprintln(stderr, "prordlint:", err)
 		return 2
 	}
 
@@ -66,53 +85,99 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(patterns)
+	pkgs, root, err := lint.LoadWithRoot(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prordlint:", err)
+		fmt.Fprintln(stderr, "prordlint:", err)
 		return 2
 	}
 	if *verbose {
 		for _, pkg := range pkgs {
 			for _, terr := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "prordlint: %s: type error: %v\n", pkg.Path, terr)
+				fmt.Fprintf(stderr, "prordlint: %s: type error: %v\n", pkg.Path, terr)
 			}
 		}
 	}
 
 	findings := lint.Run(pkgs, analyzers)
+
+	if *writeBase {
+		b := lint.NewBaseline(findings, root)
+		if err := b.Write(*baseline); err != nil {
+			fmt.Fprintln(stderr, "prordlint: -baseline:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "prordlint: wrote %d finding(s) to %s\n", len(b.Findings), *baseline)
+		return 0
+	}
+
+	// The SARIF log records everything, baselined or not: the artifact
+	// is the full picture, the exit status is the gate.
+	if *sarifOut != "" {
+		w := stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "prordlint: -sarif:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lint.WriteSARIF(w, findings, analyzers, root); err != nil {
+			fmt.Fprintln(stderr, "prordlint: -sarif:", err)
+			return 2
+		}
+	}
+
+	gating := findings
+	if *baseline != "" {
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "prordlint: -baseline:", err)
+			return 2
+		}
+		var unused int
+		gating, unused = b.Apply(findings, root)
+		if unused > 0 {
+			fmt.Fprintf(stderr,
+				"prordlint: %d baseline entrie(s) matched no finding; regenerate with make lint-baseline\n", unused)
+		}
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		out := findings
+		out := gating
 		if out == nil {
 			out = []lint.Finding{} // emit [] rather than null
 		}
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "prordlint:", err)
+			fmt.Fprintln(stderr, "prordlint:", err)
 			return 2
 		}
 	} else {
-		for _, f := range findings {
-			fmt.Println(f)
+		for _, f := range gating {
+			fmt.Fprintln(stdout, f)
 		}
 	}
-	if len(findings) > 0 {
+	if len(gating) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "prordlint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "prordlint: %d finding(s)\n", len(gating))
 		}
 		return 1
 	}
 	return 0
 }
 
-// selectAnalyzers applies -enable/-disable to the full suite.
+// selectAnalyzers applies -enable/-disable to the full suite. Errors
+// name the offending flag, per the repo's cmd convention.
 func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
 	all := lint.Analyzers()
 	byName := map[string]*lint.Analyzer{}
 	for _, a := range all {
 		byName[a.Name] = a
 	}
-	split := func(s string) ([]string, error) {
+	split := func(flagName, s string) ([]string, error) {
 		if s == "" {
 			return nil, nil
 		}
@@ -123,17 +188,17 @@ func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
 				continue
 			}
 			if byName[n] == nil {
-				return nil, fmt.Errorf("unknown analyzer %q (see prordlint -list)", n)
+				return nil, fmt.Errorf("%s: unknown analyzer %q (see prordlint -list)", flagName, n)
 			}
 			names = append(names, n)
 		}
 		return names, nil
 	}
-	enabled, err := split(enable)
+	enabled, err := split("-enable", enable)
 	if err != nil {
 		return nil, err
 	}
-	disabled, err := split(disable)
+	disabled, err := split("-disable", disable)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +223,7 @@ func selectAnalyzers(enable, disable string) ([]*lint.Analyzer, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("all analyzers disabled")
+		return nil, fmt.Errorf("-disable: all analyzers disabled")
 	}
 	return out, nil
 }

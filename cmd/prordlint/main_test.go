@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenSARIF runs the CLI over the committed SARIF fixture package
+// and compares the log byte-for-byte against testdata/golden.sarif.
+// URIs in the log are module-root-relative, which is what makes the
+// golden stable across checkouts.
+func TestGoldenSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-sarif", "-", "../../internal/lint/testdata/sarif"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 (the fixture has one finding), got %d; stderr: %s", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stdout carries the SARIF log followed by the text findings; the
+	// log ends at the encoder's trailing newline after the top brace.
+	out := stdout.String()
+	end := strings.Index(out, "\n}\n")
+	if end < 0 {
+		t.Fatalf("no SARIF document on stdout:\n%s", out)
+	}
+	got := out[:end+3]
+	if got != string(golden) {
+		t.Errorf("SARIF output differs from testdata/golden.sarif\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	// And it must remain parseable JSON with the fields CI consumes.
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) != 1 || doc.Runs[0].Results[0].RuleID != "noprint" {
+		t.Errorf("unexpected SARIF shape: %+v", doc)
+	}
+}
+
+// TestBaselineGates exercises the grandfathering flow end to end:
+// -write-baseline captures the fixture finding, and a rerun with that
+// baseline exits 0 without printing it.
+func TestBaselineGates(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-baseline", base, "-write-baseline", "../../internal/lint/testdata/sarif"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-write-baseline: want exit 0, got %d; stderr: %s", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-baseline", base, "../../internal/lint/testdata/sarif"}, &out, &errBuf); code != 0 {
+		t.Fatalf("baselined run: want exit 0, got %d; stdout: %s stderr: %s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined run printed findings: %s", out.String())
+	}
+}
+
+// TestFlagValidationNamesFlag checks the repo's cmd convention: bad
+// flag values exit 2 with the offending flag named on stderr.
+func TestFlagValidationNamesFlag(t *testing.T) {
+	cases := []struct {
+		args     []string
+		wantFlag string
+	}{
+		{[]string{"-enable", "nosuch"}, "-enable"},
+		{[]string{"-disable", "nosuch"}, "-disable"},
+		{[]string{"-write-baseline"}, "-baseline"},
+		{[]string{"-baseline", filepath.Join(t.TempDir(), "missing.json"), "../../internal/lint/testdata/sarif"}, "-baseline"},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(tc.args, &out, &errBuf); code != 2 {
+			t.Errorf("%v: want exit 2, got %d", tc.args, code)
+		}
+		if !strings.Contains(errBuf.String(), tc.wantFlag) {
+			t.Errorf("%v: stderr does not name %s: %s", tc.args, tc.wantFlag, errBuf.String())
+		}
+	}
+}
+
+// TestListIncludesNewAnalyzers keeps -list honest about the suite.
+func TestListIncludesNewAnalyzers(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-list: want exit 0, got %d", code)
+	}
+	for _, name := range []string{"lockorder", "clockflow", "staleignore", "[program]", "[package]"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

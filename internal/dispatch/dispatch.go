@@ -265,6 +265,13 @@ type Stats struct {
 
 // Core is the shared decision engine. Build one with New; all methods
 // are safe for concurrent use.
+//
+// Lock hierarchy (machine-checked by prordlint's lockorder analyzer —
+// see lockHierarchy in internal/lint/lockset.go): locks nest only in
+// ascending rank, and the shard mutexes are leaves — nothing is
+// acquired, and nothing may block, while one is held.
+//
+//	polMu (10) → trackMu (20) → ovMu (30) → sessionShard.mu / fileShard.mu (leaves)
 type Core struct {
 	cfg     Config
 	nshards int

@@ -186,7 +186,9 @@ func (f *fileShard) residentHere(exact bool, server int, file string) bool {
 // unavailable backends exactly as both adapters used to: their load
 // reads as the UnavailableLoad sentinel, they vanish from server sets,
 // and a connection pinned to one loses its binding. The view is only
-// used under polMu; shard mutexes are taken as leaves.
+// used under polMu; shard mutexes are taken as leaves — an ordering
+// the lockorder analyzer verifies interprocedurally on every lint run
+// (polMu rank 10, shard mutexes leaf ranks; see the Core doc comment).
 type coreView struct {
 	c    *Core
 	avail []bool

@@ -19,6 +19,11 @@ func Probe(interval time.Duration, src *randutil.Source, stop <-chan struct{}, f
 	if interval <= 0 {
 		return
 	}
+	// The prober is the clock *driver*, not a clock consumer: it turns
+	// real elapsed time into fn() ticks, so it is the one function under
+	// clockflow's reach that must touch a real timer. Determinism is
+	// preserved because the jitter sequence comes from the seeded src.
+	//lint:ignore clockflow the prober converts real time into probe ticks; only its jitter must be (and is) deterministic
 	t := time.NewTimer(jitter(interval, src))
 	defer t.Stop()
 	for {

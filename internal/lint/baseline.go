@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline grandfathers known findings so CI gates only on new ones.
+// The file is committed; `make lint-baseline` regenerates it
+// deliberately (never in CI). Entries match findings on
+// (analyzer, module-relative file, message) with multiset semantics —
+// line numbers are excluded on purpose so unrelated edits that shift a
+// grandfathered finding do not break the gate, while any change to the
+// finding's message (or a second occurrence) does.
+
+// A BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, forward slashes
+	Message  string `json:"message"`
+	// Line records where the finding was when the baseline was written.
+	// It is informational only and not part of the match key.
+	Line int `json:"line,omitempty"`
+}
+
+// A Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d (want 1)", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from the current findings, relativized
+// to root.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     moduleRelative(root, f.File),
+			Message:  f.Message,
+			Line:     f.Line,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write serializes the baseline to path.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\x00" + relFile + "\x00" + message
+}
+
+// Apply splits findings into those not covered by the baseline (which
+// gate the run) and reports how many baseline entries went unused
+// (candidates for `make lint-baseline`). Matching is multiset: each
+// entry absorbs at most one finding.
+func (b *Baseline) Apply(findings []Finding, root string) (fresh []Finding, unusedEntries int) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)]++
+	}
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, moduleRelative(root, f.File), f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, left := range budget {
+		unusedEntries += left
+	}
+	return fresh, unusedEntries
+}

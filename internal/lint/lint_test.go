@@ -92,6 +92,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "mutexhygiene", fixture: "mutexhygiene.go", pkgPath: "prord/internal/httpfront", analyzers: []*Analyzer{MutexHygiene}},
 		{name: "noprint", fixture: "noprint.go", pkgPath: "prord/internal/mining", analyzers: []*Analyzer{NoPrint}},
 		{name: "noprint-exempt-in-cmd", fixture: "noprint.go", pkgPath: "prord/cmd/foo", analyzers: []*Analyzer{NoPrint}, wantNone: true},
+		{name: "lockorder-inversion", fixture: "lockorder/inversion.go", pkgPath: "prord/internal/dispatch", analyzers: []*Analyzer{LockOrder}},
+		{name: "lockorder-unranked-elsewhere", fixture: "lockorder/inversion.go", pkgPath: "prord/internal/other", analyzers: []*Analyzer{LockOrder}, wantNone: true},
+		{name: "lockorder-blocking", fixture: "lockorder/blocking.go", pkgPath: "prord/internal/dispatch", analyzers: []*Analyzer{LockOrder}},
+		{name: "lockorder-blocking-rank-independent", fixture: "lockorder/blocking.go", pkgPath: "prord/internal/other", analyzers: []*Analyzer{LockOrder}},
+		{name: "lockorder-stripe", fixture: "lockorder/stripe.go", pkgPath: "prord/internal/dispatch", analyzers: []*Analyzer{LockOrder}},
+		{name: "lockorder-stripe-rank-independent", fixture: "lockorder/stripe.go", pkgPath: "prord/internal/other", analyzers: []*Analyzer{LockOrder}},
+		{name: "lockorder-clean", fixture: "lockorder/clean.go", pkgPath: "prord/internal/dispatch", analyzers: []*Analyzer{LockOrder}},
+		{name: "clockflow-indirect", fixture: "clockflow/indirect.go", pkgPath: "prord/internal/dispatch", analyzers: []*Analyzer{ClockFlow}},
+		{name: "clockflow-out-of-scope", fixture: "clockflow/indirect.go", pkgPath: "prord/internal/webmining", analyzers: []*Analyzer{ClockFlow}, wantNone: true},
+		{name: "staleignore", fixture: "staleignore/stale.go", pkgPath: "prord/internal/mining", analyzers: []*Analyzer{NoPrint, StaleIgnore}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -106,6 +116,58 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				t.Errorf("findings mismatch\n got: %v\nwant: %v\nfull: %v", got, want, findings)
 			}
 		})
+	}
+}
+
+// TestLockOrderExactFindings pins the acceptance fixtures down to
+// exactly one finding per seeded violation — not merely "a finding on
+// the right line": duplicate reports for one bug would drown real runs.
+func TestLockOrderExactFindings(t *testing.T) {
+	cases := []struct {
+		fixture string
+		want    int
+	}{
+		{"lockorder/inversion.go", 3}, // direct, via-callee, rank inversion
+		{"lockorder/blocking.go", 2},  // direct send, send via helper
+		{"lockorder/stripe.go", 1},
+		{"lockorder/clean.go", 0},
+	}
+	for _, tc := range cases {
+		pkg := checkFixture(t, tc.fixture, "prord/internal/dispatch")
+		findings := Run([]*Package{pkg}, []*Analyzer{LockOrder})
+		if len(findings) != tc.want {
+			t.Errorf("%s: want exactly %d lockorder finding(s), got %d: %v",
+				tc.fixture, tc.want, len(findings), findings)
+		}
+	}
+}
+
+// TestEffectSummariesPropagate checks the fixed point directly: the
+// caller of a locking, blocking helper inherits both effects.
+func TestEffectSummariesPropagate(t *testing.T) {
+	pkg := checkFixture(t, "lockorder/blocking.go", "prord/internal/dispatch")
+	prog := BuildProgram([]*Package{pkg})
+	var helper, caller *Node
+	for _, n := range prog.Graph.Nodes() {
+		switch n.Name() {
+		case "push":
+			helper = n
+		case "fileShard.sendViaHelper":
+			caller = n
+		}
+	}
+	if helper == nil || caller == nil {
+		t.Fatalf("graph missing expected nodes (have %d nodes)", len(prog.Graph.Nodes()))
+	}
+	if f := prog.Facts(helper); f.blocks == "" {
+		t.Errorf("push: want blocks set, got %+v", f)
+	}
+	cf := prog.Facts(caller)
+	if cf.blocks == "" || cf.blocksVia != "push" {
+		t.Errorf("sendViaHelper: want blocking inherited via push, got blocks=%q via=%q", cf.blocks, cf.blocksVia)
+	}
+	if len(cf.acquires) == 0 {
+		t.Errorf("sendViaHelper: want its own mu acquisition in the summary, got %+v", cf.acquires)
 	}
 }
 

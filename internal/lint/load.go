@@ -269,6 +269,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // Load expands patterns and returns the analyzed packages in a stable
 // order.
 func Load(patterns []string) ([]*Package, error) {
+	pkgs, _, err := LoadWithRoot(patterns)
+	return pkgs, err
+}
+
+// LoadWithRoot is Load plus the module root directory the packages were
+// resolved against — the base SARIF URIs and baseline entries are
+// relativized to.
+func LoadWithRoot(patterns []string) ([]*Package, string, error) {
 	start := "."
 	if len(patterns) > 0 && !strings.Contains(patterns[0], "...") {
 		if fi, err := os.Stat(patterns[0]); err == nil && fi.IsDir() {
@@ -277,19 +285,19 @@ func Load(patterns []string) ([]*Package, error) {
 	}
 	l, err := NewLoader(start)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	dirs, err := l.Expand(patterns)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
-			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+			return nil, "", fmt.Errorf("lint: loading %s: %w", dir, err)
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return pkgs, l.ModuleDir(), nil
 }

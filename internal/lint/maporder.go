@@ -14,6 +14,10 @@ import (
 // Order-insensitive uses (summing counters, filling another map, finding
 // a minimum) are not flagged, and the collect-then-sort idiom
 // (append keys, sort, iterate the slice) is recognized as safe.
+//
+// MapOrder stays a per-package pass on the Program-backed engine: both
+// the sink and the sort live in one function body, so call-graph facts
+// would not sharpen it.
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "flag map iteration feeding order-sensitive output unless sorted afterwards",

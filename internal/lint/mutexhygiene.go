@@ -20,6 +20,11 @@ import (
 //
 // Unexported methods are exempt from (2): by convention they run with
 // the lock already held by their exported callers.
+//
+// Rule (2) is call-graph aware: an exported method that delegates
+// locking to a helper (directly or transitively, via the Program's
+// effect summaries) counts as locked — only methods on no path to a
+// receiver-mutex acquisition are flagged.
 var MutexHygiene = &Analyzer{
 	Name: "mutexhygiene",
 	Doc:  "flag Lock() without matching Unlock, and unlocked field writes in exported methods of mutex-holding types",
@@ -214,6 +219,25 @@ func checkExportedMethodWrites(pass *Pass, fn *ast.FuncDecl) {
 			}
 		}
 	}
+	// Or does a callee lock them on the method's behalf? The Program's
+	// fixed-point effect summaries answer transitively: a delegating
+	// wrapper around a locking helper is locked, not a violation.
+	if !locked && pass.Prog != nil {
+		if f, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func); ok && f != nil {
+			if node := pass.Prog.Graph.ByFunc[f]; node != nil {
+				if facts := pass.Prog.Facts(node); facts != nil {
+					recvType := namedTypeName(recvObj.Type())
+					for _, mf := range mutexFields {
+						for _, class := range facts.acquires {
+							if strings.HasSuffix(class.key, "."+recvType+"."+mf) {
+								locked = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
 	if locked {
 		return
 	}
@@ -259,6 +283,18 @@ func checkExportedMethodWrites(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// namedTypeName returns the name of t's named type (dereferencing a
+// pointer receiver), or "" when t is unnamed.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
 }
 
 // mutexFieldsOf returns the names of sync.Mutex/RWMutex fields of t's

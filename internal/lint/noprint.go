@@ -17,7 +17,9 @@ var printFuncs = map[string]bool{
 // directly at os.Stdout/os.Stderr. Library results flow through returned
 // values, io.Writer parameters or metrics; terminal output belongs to
 // cmd/ and examples/. Intentional exceptions (a logger implementation)
-// are documented with //lint:ignore noprint <reason>.
+// are documented with //lint:ignore noprint <reason>. A per-package
+// pass on the Program-backed engine: printing is flagged at the call
+// site itself, so reachability facts would not change the verdict.
 var NoPrint = &Analyzer{
 	Name: "noprint",
 	Doc:  "forbid fmt.Print*/println and direct os.Stdout writes in internal library code",

@@ -26,6 +26,9 @@ var globalRandFuncs = map[string]bool{
 }
 
 // NoRand forbids the global math/rand source outside internal/randutil.
+// It is a per-package pass on the Program-backed engine: pure AST
+// pattern, no call-graph facts needed (a helper wrapping rand.Intn is
+// itself flagged wherever it lives, so reachability adds nothing).
 var NoRand = &Analyzer{
 	Name: "norand",
 	Doc:  "forbid global math/rand top-level functions outside internal/randutil",

@@ -41,6 +41,12 @@ var wallClockFuncs = map[string]bool{
 }
 
 // NoWallClock forbids wall-clock reads in simulation and policy code.
+// It is the fast, file-scoped rule; clockflow generalizes it over the
+// call graph (any function *reachable* from the dispatch core, with no
+// per-file allowances). The two are complementary: nowallclock covers
+// packages like internal/sim and internal/policy that are not clockflow
+// roots, while clockflow closes the hole where a covered package
+// launders a clock read through a helper in an uncovered one.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
 	Doc:  "forbid time.Now/Since/Sleep (and friends) in simulated-time packages",

@@ -1,0 +1,66 @@
+// lockorder fixture: a clean hierarchy. Every acquisition follows the
+// documented order (polMu → trackMu → ovMu → shard leaves) and no
+// blocking operation happens under a lock; the analyzer must stay
+// silent on this file.
+package dispatch
+
+import "sync"
+
+type Core struct {
+	polMu   sync.Mutex
+	trackMu sync.Mutex
+	ovMu    sync.Mutex
+	sess    sessionShard
+}
+
+type sessionShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// route nests in documented order: polMu, then ovMu, then a shard leaf
+// taken and released as the innermost lock.
+func (c *Core) route() {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	c.ovMu.Lock()
+	c.ovMu.Unlock()
+	c.sess.mu.Lock()
+	c.sess.n++
+	c.sess.mu.Unlock()
+}
+
+// sequential takes ranked locks against rank order but never nested —
+// ordering rules only apply to locks held simultaneously.
+func (c *Core) sequential() {
+	c.trackMu.Lock()
+	c.trackMu.Unlock()
+	c.polMu.Lock()
+	c.polMu.Unlock()
+}
+
+// helperAfterRelease calls a leaf-taking helper only after releasing
+// everything, so the effect summary has nothing to flag.
+func (c *Core) helperAfterRelease() {
+	c.polMu.Lock()
+	c.polMu.Unlock()
+	c.touchShard()
+}
+
+func (c *Core) touchShard() {
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	c.sess.n++
+}
+
+// earlyUnlockBranch exercises the terminating-branch heuristic: the
+// error arm unlocks and returns, the fall-through path still holds the
+// lock and releases it at the end.
+func (c *Core) earlyUnlockBranch(bad bool) {
+	c.polMu.Lock()
+	if bad {
+		c.polMu.Unlock()
+		return
+	}
+	c.polMu.Unlock()
+}

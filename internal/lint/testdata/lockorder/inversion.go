@@ -1,0 +1,48 @@
+// lockorder fixture: shard→policy lock inversions. Type-checked under
+// the import path prord/internal/dispatch so the ranked hierarchy
+// (Core.polMu 10, Core.trackMu 20, Core.ovMu 30, sessionShard.mu leaf)
+// applies to these mirror types.
+package dispatch
+
+import "sync"
+
+type Core struct {
+	polMu   sync.Mutex
+	trackMu sync.Mutex
+	ovMu    sync.Mutex
+}
+
+type sessionShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badDirect takes the policy lock while holding a shard leaf.
+func (c *Core) badDirect(sh *sessionShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.polMu.Lock() // want lockorder
+	c.polMu.Unlock()
+}
+
+// badIndirect reaches the same inversion through a callee: the caller
+// holds the leaf, the helper acquires polMu.
+func (c *Core) badIndirect(sh *sessionShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.reloadPolicy() // want lockorder
+}
+
+func (c *Core) reloadPolicy() {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+}
+
+// badRank inverts two ranked non-leaf classes (ovMu 30 → trackMu 20).
+func (c *Core) badRank() {
+	c.ovMu.Lock()
+	defer c.ovMu.Unlock()
+	c.trackMu.Lock() // want lockorder
+	c.trackMu.Unlock()
+}
+

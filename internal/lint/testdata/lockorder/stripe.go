@@ -1,0 +1,25 @@
+// lockorder fixture: same-class (stripe) nesting. Two locks of one
+// class — two stripes of a striped table — have no statically checkable
+// relative order, so nesting them flags under any import path.
+package dispatch
+
+import "sync"
+
+type stripedTable struct {
+	shards [8]tableShard
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badStripe holds one stripe while taking another of the same class.
+func (t *stripedTable) badStripe(i, j int) {
+	a, b := &t.shards[i], &t.shards[j]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder
+	b.n++
+	b.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+// Package sarifdemo gives the cmd/prordlint golden test a stable
+// finding: its import path contains /internal/, so the Println below
+// trips noprint, and the SARIF output for it is byte-for-byte
+// deterministic (URIs are module-root-relative).
+package sarifdemo
+
+import "fmt"
+
+// Emit prints from library code; noprint flags it.
+func Emit() {
+	fmt.Println("sarif golden fixture")
+}

@@ -1,0 +1,16 @@
+// staleignore fixture: one directive still earning its keep, one left
+// behind after the finding it suppressed was fixed.
+package mining
+
+import "fmt"
+
+func emit() {
+	// This directive matches the Println below and is NOT stale.
+	//lint:ignore noprint demo output is intentional in this fixture
+	fmt.Println("kept")
+
+	// The print this directive suppressed was deleted; the directive
+	// was not. staleignore reports it.
+	//lint:ignore noprint the println below was removed long ago // want staleignore
+	_ = len("fixed")
+}
