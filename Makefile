@@ -17,13 +17,16 @@
 #                detector (admission gate, degrade ladder, rate ramps)
 #   make race-dispatch  decision-core tests under the race detector
 #                (sim-vs-live differential replay, booking churn)
+#   make race-autoscale  elastic-pool stress tests under the race
+#                detector (join/drain churn storm, scripted scale replay)
 #   make bench-smoke  dispatch decision-latency microbench plus a short
-#                live-cluster loadgen run over all policies
+#                live-cluster loadgen run over all policies, plus the
+#                autoscale artifact (scale-up latency, warm-vs-cold join)
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch bench-smoke ci
+.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +73,16 @@ race-overload:
 race-dispatch:
 	$(GO) test -race -count=2 -run 'Differential|Churn' ./internal/dispatch/
 
+# The elastic-pool suite under the race detector: the autoscale state
+# machines, the concurrent join/drain churn storm against the decision
+# core, the scripted-scale sim-vs-live differential, and the live
+# front-end's scale paths, repeated for flake hunting. Already part of
+# `make race`; this target runs it alone.
+race-autoscale:
+	$(GO) test -race -count=2 ./internal/autoscale/
+	$(GO) test -race -count=2 -run 'Scale|Elastic|Autoscale|Warm|Drain' \
+		./internal/dispatch/ ./internal/httpfront/ ./internal/loadgen/
+
 # A ~30s benchmark pass: the decision core's Route/Done microbenchmarks
 # (with the latency distribution written as BENCH_dispatch.json in the
 # shared artifact schema), then open-loop load against 2 demo backends
@@ -82,5 +95,7 @@ bench-smoke:
 	$(GO) run ./cmd/prord-loadgen -mode open -policy WRR,LARD,PRORD \
 		-backends 2 -rate 300 -duration 10s -warmup 2s -seed 1 \
 		-scale 0.1 -out BENCH_loadgen.json
+	BENCH_AUTOSCALE_OUT=$(CURDIR)/BENCH_autoscale.json $(GO) test \
+		-run TestAutoscaleBenchArtifact ./internal/cluster/
 
-ci: build vet lint race race-failover race-overload race-dispatch
+ci: build vet lint race race-failover race-overload race-dispatch race-autoscale

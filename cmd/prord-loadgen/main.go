@@ -13,6 +13,7 @@
 //	prord-loadgen -mode open -rate 200 -sim=false -out /tmp/bench.json
 //	prord-loadgen -mode open -backends 3 -faults 1@10s:20s -probe-interval 250ms
 //	prord-loadgen -mode open -rate 100 -ramp-to 1000 -overload -overload-capacity 8
+//	prord-loadgen -mode open -backends 4 -pool-initial 2 -scale-events +1@5s,-1@20s
 //
 // The same seed and flags reproduce the same offered workload
 // byte-for-byte (see the schedule_digest field); only genuinely measured
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"prord/internal/autoscale"
 	"prord/internal/health"
 	"prord/internal/loadgen"
 	"prord/internal/overload"
@@ -58,6 +60,11 @@ func main() {
 		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: front-end default)")
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: front-end default)")
 		retries       = flag.Int("retries", 0, "failover retries per request (0: front-end default of 1, negative disables)")
+
+		scaleEvents = flag.String("scale-events", "", "scripted pool resizes: delta@at,... (e.g. +1@5s,-1@20s); requires -pool-initial")
+		poolInitial = flag.Int("pool-initial", 0, "enable the elastic backend pool starting at this many of the -backends servers (0 disables)")
+		poolMin     = flag.Int("pool-min", 0, "elastic pool floor the schedule cannot drain below (0: default 1)")
+		coldJoin    = flag.Bool("cold-join", false, "elastic pool: skip the rank-table warm preload on joins (the bench control arm)")
 
 		overloadOn = flag.Bool("overload", false, "enable front-end overload control (degrade ladder + admission); the sim comparison runs the same core ladder when -sim is set")
 		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend (0: default 64)")
@@ -95,6 +102,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	scaleSched, err := loadgen.ParseScaleEvents(*scaleEvents)
+	if err != nil {
+		fail(err)
+	}
+	var ascfg *autoscale.Config
+	if *poolInitial > 0 {
+		ascfg = &autoscale.Config{
+			Initial:  *poolInitial,
+			Min:      *poolMin,
+			ColdJoin: *coldJoin,
+		}
+	}
 	var ovcfg *overload.Config
 	if *overloadOn {
 		ovcfg = &overload.Config{
@@ -126,6 +145,8 @@ func main() {
 		ProbeInterval: *probeInterval,
 		FrontRetries:  *retries,
 		Overload:      ovcfg,
+		Autoscale:     ascfg,
+		ScaleEvents:   scaleSched,
 		CompareSim:    *sim,
 	}
 	h, err := loadgen.New(cfg)

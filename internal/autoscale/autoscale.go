@@ -1,0 +1,171 @@
+// Package autoscale closes the loop between the overload degrade
+// ladder and the backend pool size: a clock-injected controller watches
+// the dispatch core's tier signal and resizes an elastic pool of
+// backends — scale up when Saturated persists past a hold window, scale
+// down when Normal holds — with hold + cooldown hysteresis mirroring
+// the estimator's MinHold/DownMargin design so the two control loops
+// cannot fight (the ladder debounces pressure, the autoscaler debounces
+// the ladder).
+//
+// Pool membership is a per-backend lifecycle over a fixed index space
+// [0, Max):
+//
+//	Absent → Warming → Ready → Draining → Absent
+//
+// A joining backend starts Warming: the adapter preloads the top-N
+// files from the replication rank table (Algorithm 3's popularity
+// answer to "what should a cold cache hold") and the backend takes
+// ramped weight in the policy layer — its load reads inflated until it
+// has served WarmRamp requests — before being promoted Ready. A leaving
+// backend is Draining: excluded from new-session routing the same way
+// breaker-open backends are, while bound sessions finish or rebook
+// through the existing paths; once its bookings drain it is removed and
+// its remaining idle sessions re-bind on their next request.
+//
+// Like overload.Estimator and health.Breaker, everything here is a pure
+// state machine over an injected clock: every method that records time
+// takes now as an argument, so the simulator drives the subsystem with
+// virtual time and stays byte-reproducible (the repo's clockflow
+// analyzer covers this package). The Pool's read path (Present,
+// AcceptingNew, Penalty, NoteServed) is lock-free so the dispatch core
+// can consult it per decision without ordering against any mutex.
+package autoscale
+
+import (
+	"fmt"
+	"time"
+
+	"prord/internal/overload"
+)
+
+// State is one backend's position in the elastic-pool lifecycle.
+type State int32
+
+const (
+	// Absent means the slot is not part of the pool: provisioned
+	// capacity, currently unused.
+	Absent State = iota
+	// Warming means the backend joined and is preloading its cache; it
+	// accepts new sessions at ramped weight.
+	Warming
+	// Ready means the backend carries full weight.
+	Ready
+	// Draining means the backend is leaving: closed to new sessions,
+	// still serving bound ones until its bookings drain.
+	Draining
+)
+
+// String returns the state's lower-case name.
+func (s State) String() string {
+	switch s {
+	case Absent:
+		return "absent"
+	case Warming:
+		return "warming"
+	case Ready:
+		return "ready"
+	case Draining:
+		return "draining"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// MarshalJSON encodes the state by name for the cluster stats endpoint.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Event is one pool lifecycle transition.
+type Event struct {
+	// At is the transition time on the owner's clock (virtual in the
+	// simulator, wall in the live front-end).
+	At time.Time
+	// Server is the backend index.
+	Server int
+	// From and To are the states around the transition.
+	From, To State
+}
+
+// Config tunes the pool and the controller. The zero value of each
+// field selects the documented default.
+type Config struct {
+	// Max is the provisioned index space: backends the substrate can
+	// bring online. Required, >= 1.
+	Max int
+	// Min is the floor of present backends; the controller never drains
+	// below it. Default 1.
+	Min int
+	// Initial is the pool size at start (slots [0, Initial) begin
+	// Ready). Default Min.
+	Initial int
+	// UpHold is how long Saturated (or worse) must persist before the
+	// controller joins a backend; it mirrors the estimator's MinHold so
+	// a tier blip cannot trigger a scale event. Default 2s.
+	UpHold time.Duration
+	// DownHold is how long Normal must persist before the controller
+	// drains a backend. Deliberately longer than UpHold: adding capacity
+	// is cheap, removing it re-warms caches. Default 10s.
+	DownHold time.Duration
+	// Cooldown is the minimum spacing between scale decisions, over and
+	// above the hold windows. Default 5s.
+	Cooldown time.Duration
+	// WarmTop is how many rank-table files a joining backend preloads.
+	// Default 32.
+	WarmTop int
+	// WarmRamp is how many served requests promote Warming to Ready;
+	// until then the backend's load reads inflated by the decaying
+	// penalty. Default 64.
+	WarmRamp int64
+	// WarmPenalty is the load penalty a just-joined backend carries; it
+	// decays linearly to zero over WarmRamp served requests. Default 8.
+	WarmPenalty int
+	// ColdJoin disables the warm preload (the bench control arm:
+	// joining backends start with empty caches and no rank-table help).
+	ColdJoin bool
+}
+
+// WithDefaults fills unset fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Initial <= 0 {
+		c.Initial = c.Min
+	}
+	if c.UpHold <= 0 {
+		c.UpHold = 2 * time.Second
+	}
+	if c.DownHold <= 0 {
+		c.DownHold = 10 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.WarmTop <= 0 {
+		c.WarmTop = 32
+	}
+	if c.WarmRamp <= 0 {
+		c.WarmRamp = 64
+	}
+	if c.WarmPenalty <= 0 {
+		c.WarmPenalty = 8
+	}
+	return c
+}
+
+// Validate checks the configuration after defaults are applied.
+func (c Config) Validate() error {
+	if c.Max < 1 {
+		return fmt.Errorf("autoscale: Max must be >= 1, got %d", c.Max)
+	}
+	if c.Min > c.Max {
+		return fmt.Errorf("autoscale: Min %d exceeds Max %d", c.Min, c.Max)
+	}
+	if c.Initial < c.Min || c.Initial > c.Max {
+		return fmt.Errorf("autoscale: Initial %d outside [Min %d, Max %d]", c.Initial, c.Min, c.Max)
+	}
+	return nil
+}
+
+// Tier aliases the overload ladder for the controller's trigger logic.
+type Tier = overload.Tier

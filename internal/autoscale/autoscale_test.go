@@ -1,0 +1,377 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"prord/internal/overload"
+)
+
+// tick builds monotone timestamps off an arbitrary epoch — the package
+// only ever subtracts, so the epoch is irrelevant.
+func tick(d time.Duration) time.Time { return time.Time{}.Add(d) }
+
+func newPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"max required", Config{}, false},
+		{"minimal", Config{Max: 1}, true},
+		{"min above max", Config{Max: 2, Min: 3}, false},
+		{"initial above max", Config{Max: 2, Initial: 3}, false},
+		{"initial below min", Config{Max: 4, Min: 3, Initial: 2}, false},
+		{"full range", Config{Max: 4, Min: 1, Initial: 2}, true},
+	}
+	for _, tc := range cases {
+		_, err := NewPool(tc.cfg)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: NewPool err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Max: 3}.WithDefaults()
+	if c.Min != 1 || c.Initial != 1 {
+		t.Errorf("Min=%d Initial=%d, want 1/1", c.Min, c.Initial)
+	}
+	if c.UpHold != 2*time.Second || c.DownHold != 10*time.Second || c.Cooldown != 5*time.Second {
+		t.Errorf("holds %v/%v/%v, want 2s/10s/5s", c.UpHold, c.DownHold, c.Cooldown)
+	}
+	if c.WarmTop != 32 || c.WarmRamp != 64 || c.WarmPenalty != 8 {
+		t.Errorf("warm %d/%d/%d, want 32/64/8", c.WarmTop, c.WarmRamp, c.WarmPenalty)
+	}
+	// Initial defaults to Min, not 1.
+	if c := (Config{Max: 5, Min: 2}).WithDefaults(); c.Initial != 2 {
+		t.Errorf("Initial=%d, want Min=2", c.Initial)
+	}
+}
+
+func TestPoolLifecycle(t *testing.T) {
+	p := newPool(t, Config{Max: 3, Initial: 1, WarmRamp: 2})
+	if p.Size() != 1 || p.State(0) != Ready || p.State(1) != Absent {
+		t.Fatalf("initial pool wrong: size=%d states=%v/%v", p.Size(), p.State(0), p.State(1))
+	}
+	if !p.Settled() {
+		t.Fatal("fresh pool should be settled")
+	}
+
+	// Join picks the lowest Absent slot.
+	idx, ok := p.Join(tick(time.Second))
+	if !ok || idx != 1 {
+		t.Fatalf("Join = %d, %v; want 1, true", idx, ok)
+	}
+	if p.State(1) != Warming || p.Size() != 2 || p.Settled() {
+		t.Fatalf("after join: state=%v size=%d settled=%v", p.State(1), p.Size(), p.Settled())
+	}
+	if !p.AcceptingNew(1) || !p.Present(1) {
+		t.Fatal("warming backend must accept new sessions and be present")
+	}
+
+	// Warm penalty ramps linearly to zero over WarmRamp serves.
+	if pen := p.Penalty(1); pen != p.Config().WarmPenalty {
+		t.Fatalf("fresh penalty = %d, want %d", pen, p.Config().WarmPenalty)
+	}
+	p.NoteServed(1)
+	if pen := p.Penalty(1); pen <= 0 || pen >= p.Config().WarmPenalty {
+		t.Fatalf("mid-ramp penalty = %d, want in (0, %d)", pen, p.Config().WarmPenalty)
+	}
+	p.NoteServed(1)
+	if pen := p.Penalty(1); pen != 0 {
+		t.Fatalf("post-ramp penalty = %d, want 0", pen)
+	}
+	// Ready backends never carry a penalty.
+	if pen := p.Penalty(0); pen != 0 {
+		t.Fatalf("ready penalty = %d, want 0", pen)
+	}
+
+	// Settle promotes the completed ramp.
+	if got := p.Settle(tick(2 * time.Second)); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Settle = %v, want [1]", got)
+	}
+	if p.State(1) != Ready || !p.Settled() {
+		t.Fatalf("after settle: state=%v settled=%v", p.State(1), p.Settled())
+	}
+
+	// Drain picks the highest-index Ready backend.
+	idx, ok = p.Drain(tick(3 * time.Second))
+	if !ok || idx != 1 {
+		t.Fatalf("Drain = %d, %v; want 1, true", idx, ok)
+	}
+	if p.AcceptingNew(1) {
+		t.Fatal("draining backend must not accept new sessions")
+	}
+	if !p.Present(1) {
+		t.Fatal("draining backend must stay present for bound sessions")
+	}
+	if !p.HasDraining() || p.Settled() {
+		t.Fatalf("HasDraining=%v Settled=%v, want true/false", p.HasDraining(), p.Settled())
+	}
+	if got := p.DrainingSet(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DrainingSet = %v, want [1]", got)
+	}
+
+	// Drain refuses to shrink below Min.
+	if idx, ok := p.Drain(tick(4 * time.Second)); ok {
+		t.Fatalf("Drain below Min succeeded with %d", idx)
+	}
+
+	// Remove completes the drain.
+	countRebooks, ok := p.Remove(1, tick(5*time.Second))
+	if !ok || !countRebooks {
+		t.Fatalf("Remove = %v, %v; want true, true", countRebooks, ok)
+	}
+	if p.State(1) != Absent || p.Size() != 1 || !p.Settled() {
+		t.Fatalf("after remove: state=%v size=%d settled=%v", p.State(1), p.Size(), p.Settled())
+	}
+	// Double remove is a no-op.
+	if _, ok := p.Remove(1, tick(6*time.Second)); ok {
+		t.Fatal("second Remove succeeded")
+	}
+
+	p.NoteRebooked(3)
+	joins, drains, rebooked := p.Counters()
+	if joins != 1 || drains != 1 || rebooked != 3 {
+		t.Fatalf("counters = %d/%d/%d, want 1/1/3", joins, drains, rebooked)
+	}
+
+	// The event log recorded every transition in order.
+	want := []Event{
+		{At: tick(time.Second), Server: 1, From: Absent, To: Warming},
+		{At: tick(2 * time.Second), Server: 1, From: Warming, To: Ready},
+		{At: tick(3 * time.Second), Server: 1, From: Ready, To: Draining},
+		{At: tick(5 * time.Second), Server: 1, From: Draining, To: Absent},
+	}
+	got := p.Events()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolJoinAtMax(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 2})
+	if idx, ok := p.Join(tick(0)); ok {
+		t.Fatalf("Join at Max succeeded with %d", idx)
+	}
+}
+
+func TestPoolDrainFallsBackToWarming(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 1})
+	if _, ok := p.Join(tick(0)); !ok {
+		t.Fatal("Join failed")
+	}
+	idx, ok := p.Drain(tick(time.Second))
+	if !ok || idx != 1 {
+		t.Fatalf("Drain = %d, %v; want warming slot 1, true", idx, ok)
+	}
+}
+
+func TestPoolRejoinResetsRamp(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 1, WarmRamp: 4})
+	idx, _ := p.Join(tick(0))
+	for i := 0; i < 4; i++ {
+		p.NoteServed(idx)
+	}
+	p.Settle(tick(time.Second))
+	p.Drain(tick(2 * time.Second))
+	p.Remove(idx, tick(3*time.Second))
+	// Rejoining the same slot starts a fresh ramp.
+	idx2, ok := p.Join(tick(4 * time.Second))
+	if !ok || idx2 != idx {
+		t.Fatalf("rejoin = %d, %v; want %d, true", idx2, ok, idx)
+	}
+	if pen := p.Penalty(idx2); pen != p.Config().WarmPenalty {
+		t.Fatalf("rejoin penalty = %d, want full %d", pen, p.Config().WarmPenalty)
+	}
+}
+
+// TestPoolCrashWhileDraining is the satellite regression: a backend
+// invalidated (breaker trip / crash) while Draining must not have its
+// detach unpins counted as drain rebooks — the invalidation already
+// unpinned every session.
+func TestPoolCrashWhileDraining(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 2})
+	idx, ok := p.Drain(tick(0))
+	if !ok {
+		t.Fatal("Drain failed")
+	}
+	p.NoteInvalidated(idx)
+	countRebooks, ok := p.Remove(idx, tick(time.Second))
+	if !ok {
+		t.Fatal("Remove failed")
+	}
+	if countRebooks {
+		t.Fatal("Remove after mid-drain invalidation said to count rebooks")
+	}
+	// The crash flag clears on removal: a later clean drain counts again.
+	if _, ok := p.Join(tick(2 * time.Second)); !ok {
+		t.Fatal("rejoin failed")
+	}
+	p.Settle(tick(3 * time.Second)) // not ramped; stays Warming
+	idx2, ok := p.Drain(tick(4 * time.Second))
+	if !ok {
+		t.Fatal("second Drain failed")
+	}
+	countRebooks, ok = p.Remove(idx2, tick(5*time.Second))
+	if !ok || !countRebooks {
+		t.Fatalf("clean Remove = %v, %v; want true, true", countRebooks, ok)
+	}
+}
+
+func TestPoolInvalidatedWhileWarmingRestartsRamp(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 1, WarmRamp: 4})
+	idx, _ := p.Join(tick(0))
+	p.NoteServed(idx)
+	p.NoteServed(idx)
+	if pen := p.Penalty(idx); pen >= p.Config().WarmPenalty {
+		t.Fatalf("pre-crash penalty = %d, want decayed", pen)
+	}
+	p.NoteInvalidated(idx)
+	if pen := p.Penalty(idx); pen != p.Config().WarmPenalty {
+		t.Fatalf("post-crash penalty = %d, want full %d (ramp restarted)", pen, p.Config().WarmPenalty)
+	}
+}
+
+func TestControllerHysteresis(t *testing.T) {
+	p := newPool(t, Config{Max: 3, Initial: 1, UpHold: 2 * time.Second,
+		DownHold: 10 * time.Second, Cooldown: 5 * time.Second, WarmRamp: 1})
+	c := NewController(p)
+
+	// Saturated must persist UpHold before a join fires.
+	if _, ok := c.Observe(tick(0), overload.Saturated); ok {
+		t.Fatal("joined immediately")
+	}
+	if _, ok := c.Observe(tick(time.Second), overload.Saturated); ok {
+		t.Fatal("joined before UpHold elapsed")
+	}
+	act, ok := c.Observe(tick(2*time.Second), overload.Saturated)
+	if !ok || act.Kind != ActionJoin || act.Server != 1 {
+		t.Fatalf("Observe = %+v, %v; want join of 1", act, ok)
+	}
+	if act.Latency != 2*time.Second {
+		t.Fatalf("join latency = %v, want 2s", act.Latency)
+	}
+	if got := c.ScaleUpLatencies(); len(got) != 1 || got[0] != 2*time.Second {
+		t.Fatalf("ScaleUpLatencies = %v, want [2s]", got)
+	}
+
+	// Unsettled pool (slot 1 Warming) suppresses further decisions even
+	// after the cooldown — promote it first.
+	if _, ok := c.Observe(tick(10*time.Second), overload.Saturated); ok {
+		t.Fatal("decision fired while pool unsettled")
+	}
+	p.NoteServed(1)
+	p.Settle(tick(10 * time.Second))
+
+	// Critical also counts as "above": the hold restarted at 10s (the
+	// first settled Saturated+ observation after the join cleared it).
+	if _, ok := c.Observe(tick(11*time.Second), overload.Critical); ok {
+		t.Fatal("joined before second UpHold elapsed")
+	}
+	act, ok = c.Observe(tick(12*time.Second), overload.Critical)
+	if !ok || act.Kind != ActionJoin || act.Server != 2 {
+		t.Fatalf("second join = %+v, %v; want join of 2", act, ok)
+	}
+	p.NoteServed(2)
+	p.Settle(tick(12 * time.Second))
+
+	// Normal must persist DownHold before a drain fires; cooldown gates
+	// too. Drain picks the highest-index Ready backend (2).
+	if _, ok := c.Observe(tick(13*time.Second), overload.Normal); ok {
+		t.Fatal("drained immediately")
+	}
+	if _, ok := c.Observe(tick(22*time.Second), overload.Normal); ok {
+		t.Fatal("drained before DownHold elapsed")
+	}
+	act, ok = c.Observe(tick(23*time.Second), overload.Normal)
+	if !ok || act.Kind != ActionDrain || act.Server != 2 {
+		t.Fatalf("drain = %+v, %v; want drain of 2", act, ok)
+	}
+	if act.Latency != 0 {
+		t.Fatalf("drain latency = %v, want 0", act.Latency)
+	}
+}
+
+func TestControllerElevatedDeadZone(t *testing.T) {
+	p := newPool(t, Config{Max: 2, Initial: 1, UpHold: 2 * time.Second, Cooldown: time.Second})
+	c := NewController(p)
+
+	// Saturated for 1.5s, then an Elevated blip resets the hold timer:
+	// the later Saturated observations must wait a full UpHold again.
+	c.Observe(tick(0), overload.Saturated)
+	c.Observe(tick(1500*time.Millisecond), overload.Elevated)
+	if _, ok := c.Observe(tick(2*time.Second), overload.Saturated); ok {
+		t.Fatal("joined off a stale hold timer after an Elevated reset")
+	}
+	if _, ok := c.Observe(tick(3900*time.Millisecond), overload.Saturated); ok {
+		t.Fatal("joined before the restarted UpHold elapsed")
+	}
+	if act, ok := c.Observe(tick(4*time.Second), overload.Saturated); !ok || act.Kind != ActionJoin {
+		t.Fatalf("Observe = %+v, %v; want join", act, ok)
+	}
+}
+
+func TestControllerCooldown(t *testing.T) {
+	p := newPool(t, Config{Max: 3, Initial: 1, UpHold: time.Second,
+		Cooldown: 10 * time.Second, WarmRamp: 1})
+	c := NewController(p)
+
+	c.Observe(tick(0), overload.Saturated)
+	act, ok := c.Observe(tick(time.Second), overload.Saturated)
+	if !ok || act.Kind != ActionJoin {
+		t.Fatalf("first join = %+v, %v", act, ok)
+	}
+	p.NoteServed(act.Server)
+	p.Settle(tick(time.Second))
+
+	// Settled and held well past UpHold — but inside the cooldown.
+	c.Observe(tick(2*time.Second), overload.Saturated)
+	if _, ok := c.Observe(tick(10*time.Second), overload.Saturated); ok {
+		t.Fatal("joined inside cooldown")
+	}
+	if act, ok := c.Observe(tick(11*time.Second), overload.Saturated); !ok || act.Kind != ActionJoin {
+		t.Fatalf("post-cooldown join = %+v, %v", act, ok)
+	}
+}
+
+func TestControllerRespectsPoolBounds(t *testing.T) {
+	p := newPool(t, Config{Max: 1, Initial: 1, UpHold: time.Second, DownHold: time.Second, Cooldown: time.Second})
+	c := NewController(p)
+	// At Max: the join attempt fails and no action is reported.
+	c.Observe(tick(0), overload.Saturated)
+	if act, ok := c.Observe(tick(time.Second), overload.Saturated); ok {
+		t.Fatalf("joined past Max: %+v", act)
+	}
+	// At Min: the drain attempt fails likewise.
+	c.Observe(tick(2*time.Second), overload.Normal)
+	if act, ok := c.Observe(tick(3*time.Second), overload.Normal); ok {
+		t.Fatalf("drained past Min: %+v", act)
+	}
+}
+
+func TestStateJSON(t *testing.T) {
+	for s, want := range map[State]string{
+		Absent: `"absent"`, Warming: `"warming"`, Ready: `"ready"`, Draining: `"draining"`,
+	} {
+		b, err := s.MarshalJSON()
+		if err != nil || string(b) != want {
+			t.Errorf("State(%d).MarshalJSON = %s, %v; want %s", s, b, err, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package autoscale
+
+import (
+	"sync"
+	"time"
+
+	"prord/internal/overload"
+)
+
+// ActionKind labels a controller decision.
+type ActionKind int
+
+const (
+	// ActionJoin adds a backend (scale up).
+	ActionJoin ActionKind = iota + 1
+	// ActionDrain starts removing a backend (scale down).
+	ActionDrain
+)
+
+// String returns the action kind's lower-case name.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionJoin:
+		return "join"
+	case ActionDrain:
+		return "drain"
+	}
+	return "none"
+}
+
+// Action is one scale decision the adapter must act on: for a join,
+// warm-preload the new backend and grow the core's capacity; for a
+// drain, nothing immediate — the backend leaves once its bookings
+// drain and the adapter reaps it.
+type Action struct {
+	Kind   ActionKind
+	Server int
+	// Latency is the scale-up decision latency: how long the trigger
+	// tier persisted before the controller acted (the hold window plus
+	// any cooldown or settle suppression). Zero for drains.
+	Latency time.Duration
+}
+
+// Controller turns the overload tier stream into pool resize decisions
+// with hold + cooldown hysteresis:
+//
+//   - Saturated or worse persisting UpHold → join one backend.
+//   - Normal persisting DownHold → drain one backend.
+//   - Elevated is the dead zone: both hold timers reset, mirroring the
+//     estimator's own DownMargin band so the two ladders cannot
+//     oscillate against each other.
+//
+// Decisions are additionally spaced by Cooldown and suppressed while
+// any backend is Warming or Draining, so one decision's effects land
+// before the next is taken. The controller is a pure state machine over
+// the injected clock: Observe(now, tier) is the only input.
+type Controller struct {
+	mu   sync.Mutex
+	cfg  Config
+	pool *Pool
+
+	aboveSince time.Time
+	hasAbove   bool
+	belowSince time.Time
+	hasBelow   bool
+	lastAct    time.Time
+	hasAct     bool
+
+	upLatencies []time.Duration
+}
+
+// NewController builds a controller driving pool. The config is the
+// pool's (already defaulted) config.
+func NewController(pool *Pool) *Controller {
+	return &Controller{cfg: pool.Config(), pool: pool}
+}
+
+// Observe feeds one tier observation at now and returns the scale
+// action taken, if any. Adapters call it from their periodic tick (the
+// simulator on virtual time, the live front-end on a wall-clock
+// ticker) and act on the returned decision.
+func (c *Controller) Observe(now time.Time, tier Tier) (Action, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	switch {
+	case tier >= overload.Saturated:
+		c.hasBelow = false
+		if !c.hasAbove {
+			c.hasAbove, c.aboveSince = true, now
+		}
+	case tier == overload.Normal:
+		c.hasAbove = false
+		if !c.hasBelow {
+			c.hasBelow, c.belowSince = true, now
+		}
+	default:
+		// Elevated: the hysteresis dead zone.
+		c.hasAbove, c.hasBelow = false, false
+		return Action{}, false
+	}
+
+	if c.hasAct && now.Sub(c.lastAct) < c.cfg.Cooldown {
+		return Action{}, false
+	}
+	if !c.pool.Settled() {
+		return Action{}, false
+	}
+
+	if c.hasAbove && now.Sub(c.aboveSince) >= c.cfg.UpHold {
+		idx, ok := c.pool.Join(now)
+		if !ok {
+			return Action{}, false
+		}
+		lat := now.Sub(c.aboveSince)
+		c.upLatencies = append(c.upLatencies, lat)
+		c.hasAbove = false
+		c.hasAct, c.lastAct = true, now
+		return Action{Kind: ActionJoin, Server: idx, Latency: lat}, true
+	}
+	if c.hasBelow && now.Sub(c.belowSince) >= c.cfg.DownHold {
+		idx, ok := c.pool.Drain(now)
+		if !ok {
+			return Action{}, false
+		}
+		c.hasBelow = false
+		c.hasAct, c.lastAct = true, now
+		return Action{Kind: ActionDrain, Server: idx}, true
+	}
+	return Action{}, false
+}
+
+// ScaleUpLatencies returns the decision latency of every join the
+// controller has taken, in order.
+func (c *Controller) ScaleUpLatencies() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.upLatencies))
+	copy(out, c.upLatencies)
+	return out
+}

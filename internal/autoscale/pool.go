@@ -1,0 +1,302 @@
+package autoscale
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool tracks elastic membership for a provisioned index space of Max
+// backends. Reads used on the routing hot path — Present, AcceptingNew,
+// Penalty, NoteServed — are lock-free atomics, so the dispatch core can
+// consult the pool while holding its own locks without adding an edge
+// to the lock hierarchy. Transitions and accounting are serialized by
+// mu, a leaf lock: nothing else is ever acquired under it.
+type Pool struct {
+	cfg Config
+
+	state    []atomic.Int32 // State per slot
+	served   []atomic.Int64 // requests served since last join (warm ramp)
+	size     atomic.Int64   // present (non-Absent) slots
+	draining atomic.Int64   // Draining slots, for cheap reap gating
+	unsett   atomic.Int64   // Warming + Draining slots
+
+	mu       sync.Mutex
+	crashed  []bool // invalidated while Draining: skip rebook accounting
+	events   []Event
+	joins    int64
+	drains   int64
+	rebooked int64 // sessions unpinned across completed drains
+}
+
+// NewPool builds a pool over cfg.Max slots with slots [0, cfg.Initial)
+// Ready. The config is defaulted and validated.
+func NewPool(cfg Config) (*Pool, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:     cfg,
+		state:   make([]atomic.Int32, cfg.Max),
+		served:  make([]atomic.Int64, cfg.Max),
+		crashed: make([]bool, cfg.Max),
+	}
+	for i := 0; i < cfg.Initial; i++ {
+		p.state[i].Store(int32(Ready))
+	}
+	p.size.Store(int64(cfg.Initial))
+	return p, nil
+}
+
+// Config returns the defaulted configuration the pool was built with.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Max returns the provisioned index space.
+func (p *Pool) Max() int { return p.cfg.Max }
+
+// Size returns the number of present (non-Absent) backends.
+func (p *Pool) Size() int { return int(p.size.Load()) }
+
+// State returns slot i's current lifecycle state.
+func (p *Pool) State(i int) State {
+	if i < 0 || i >= len(p.state) {
+		return Absent
+	}
+	return State(p.state[i].Load())
+}
+
+// Present reports whether slot i is part of the pool (any non-Absent
+// state). Draining backends are present: bound sessions still route to
+// them.
+func (p *Pool) Present(i int) bool { return p.State(i) != Absent }
+
+// AcceptingNew reports whether slot i may receive new-session
+// placements (Warming or Ready). Draining backends are excluded the
+// same way breaker-open backends are.
+func (p *Pool) AcceptingNew(i int) bool {
+	s := p.State(i)
+	return s == Warming || s == Ready
+}
+
+// Penalty returns the load inflation a Warming backend carries, ramping
+// linearly from WarmPenalty down to zero as it serves WarmRamp
+// requests. Ready and Draining backends carry no penalty.
+func (p *Pool) Penalty(i int) int {
+	if p.State(i) != Warming {
+		return 0
+	}
+	rem := p.cfg.WarmRamp - p.served[i].Load()
+	if rem <= 0 {
+		return 0
+	}
+	pen := (int64(p.cfg.WarmPenalty)*rem + p.cfg.WarmRamp - 1) / p.cfg.WarmRamp
+	return int(pen)
+}
+
+// NoteServed credits slot i with one served request, advancing its warm
+// ramp. Lock-free; safe to call from the dispatch core's completion
+// path.
+func (p *Pool) NoteServed(i int) {
+	if i >= 0 && i < len(p.served) {
+		p.served[i].Add(1)
+	}
+}
+
+// Settled reports whether no backend is Warming or Draining; the
+// controller holds further scale decisions until the pool settles so
+// consecutive actions cannot pipeline faster than their effects land.
+func (p *Pool) Settled() bool { return p.unsett.Load() == 0 }
+
+// HasDraining reports whether any backend is Draining; adapters use it
+// to gate the (cheap) reap check on their completion paths.
+func (p *Pool) HasDraining() bool { return p.draining.Load() > 0 }
+
+// transition flips slot i and maintains the derived counters and event
+// log. Caller holds mu.
+func (p *Pool) transition(i int, from, to State, now time.Time) {
+	p.state[i].Store(int32(to))
+	if from == Absent && to != Absent {
+		p.size.Add(1)
+	}
+	if from != Absent && to == Absent {
+		p.size.Add(-1)
+	}
+	if from == Draining {
+		p.draining.Add(-1)
+	}
+	if to == Draining {
+		p.draining.Add(1)
+	}
+	if from == Warming || from == Draining {
+		p.unsett.Add(-1)
+	}
+	if to == Warming || to == Draining {
+		p.unsett.Add(1)
+	}
+	p.events = append(p.events, Event{At: now, Server: i, From: from, To: to})
+}
+
+// Join brings the lowest Absent slot into the pool as Warming and
+// returns its index. It fails when the pool is already at Max.
+func (p *Pool) Join(now time.Time) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.state {
+		if State(p.state[i].Load()) != Absent {
+			continue
+		}
+		p.served[i].Store(0)
+		p.crashed[i] = false
+		p.transition(i, Absent, Warming, now)
+		p.joins++
+		return i, true
+	}
+	return -1, false
+}
+
+// Drain moves the highest-index Ready or Warming backend — the most
+// recently joined, whose cache investment is smallest — to Draining and
+// returns its index. It refuses to shrink the pool's serving capacity
+// (present minus already-Draining) below Min.
+func (p *Pool) Drain(now time.Time) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(p.size.Load()-p.draining.Load()) <= p.cfg.Min {
+		return -1, false
+	}
+	for i := len(p.state) - 1; i >= 0; i-- {
+		if from := State(p.state[i].Load()); from == Ready || from == Warming {
+			p.transition(i, from, Draining, now)
+			p.drains++
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Settle promotes Warming backends whose ramp completed (served >=
+// WarmRamp) to Ready, returning the promoted indices. Adapters call it
+// from their periodic tick.
+func (p *Pool) Settle(now time.Time) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var promoted []int
+	for i := range p.state {
+		if State(p.state[i].Load()) == Warming && p.served[i].Load() >= p.cfg.WarmRamp {
+			p.transition(i, Warming, Ready, now)
+			promoted = append(promoted, i)
+		}
+	}
+	return promoted
+}
+
+// DrainingSet returns the indices currently in the Draining state,
+// lowest first.
+func (p *Pool) DrainingSet() []int {
+	var out []int
+	for i := range p.state {
+		if State(p.state[i].Load()) == Draining {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Remove completes slot i's drain: Draining → Absent. It returns
+// countRebooks=false when the backend crashed mid-drain — its sessions
+// were already unpinned by the invalidation path, so counting the
+// detach's unpins again would double-count (see NoteInvalidated). ok is
+// false when i was not Draining (e.g. a concurrent reaper won).
+func (p *Pool) Remove(i int, now time.Time) (countRebooks, ok bool) {
+	if i < 0 || i >= len(p.state) {
+		return false, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if State(p.state[i].Load()) != Draining {
+		return false, false
+	}
+	countRebooks = !p.crashed[i]
+	p.crashed[i] = false
+	p.transition(i, Draining, Absent, now)
+	return countRebooks, true
+}
+
+// NoteRebooked adds n to the sessions-rebooked-by-drain counter. The
+// adapter calls it with the unpin count from the core's DetachBackend
+// when Remove said to count.
+func (p *Pool) NoteRebooked(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.rebooked += int64(n)
+	p.mu.Unlock()
+}
+
+// NoteInvalidated records that slot i's backend was invalidated (crash
+// or breaker trip) out from under the pool. A Draining backend is
+// flagged so the eventual Remove does not count the detach's unpins as
+// drain rebooks — the invalidation already unpinned every session. A
+// Warming backend restarts its ramp: the cache it was warming is gone.
+func (p *Pool) NoteInvalidated(i int) {
+	if i < 0 || i >= len(p.state) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch State(p.state[i].Load()) {
+	case Draining:
+		p.crashed[i] = true
+	case Warming:
+		p.served[i].Store(0)
+	}
+}
+
+// Counters returns the lifetime join count, drain count, and sessions
+// rebooked across completed drains.
+func (p *Pool) Counters() (joins, drains, rebooked int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joins, p.drains, p.rebooked
+}
+
+// Events returns a copy of the lifecycle transition log.
+func (p *Pool) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Status is a JSON-friendly snapshot for the cluster stats endpoint.
+type Status struct {
+	Min              int     `json:"min"`
+	Max              int     `json:"max"`
+	Size             int     `json:"size"`
+	States           []State `json:"states"`
+	Joins            int64   `json:"joins"`
+	Drains           int64   `json:"drains"`
+	SessionsRebooked int64   `json:"sessions_rebooked"`
+}
+
+// Snapshot returns the pool's current membership and counters.
+func (p *Pool) Snapshot() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{
+		Min:              p.cfg.Min,
+		Max:              p.cfg.Max,
+		Size:             int(p.size.Load()),
+		States:           make([]State, len(p.state)),
+		Joins:            p.joins,
+		Drains:           p.drains,
+		SessionsRebooked: p.rebooked,
+	}
+	for i := range p.state {
+		st.States[i] = State(p.state[i].Load())
+	}
+	return st
+}

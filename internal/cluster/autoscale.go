@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"time"
+
+	"prord/internal/autoscale"
+	"prord/internal/mining"
+	"prord/internal/trace"
+)
+
+// warmWindow is the measurement span after a join over which the
+// joined backend's hit rate is tracked — the "first minute" of the
+// warm-vs-cold bench comparison.
+const warmWindow = time.Minute
+
+// joinWindow accumulates one join's first-window serve outcomes at the
+// joined backend.
+type joinWindow struct {
+	server       int
+	start, until time.Duration
+	hits, misses int64
+}
+
+// autoscaleTick runs the elastic-pool housekeeping after a completion:
+// promote backends whose warm ramp finished, let the organic controller
+// take a scale decision off the current tier, and reap drained
+// backends whose bookings hit zero. Everything runs on virtual time, so
+// seeded runs stay byte-reproducible.
+func (c *Cluster) autoscaleTick() {
+	if c.pool == nil {
+		return
+	}
+	now := c.vnow()
+	c.pool.Settle(now)
+	if c.actrl != nil {
+		if act, ok := c.actrl.Observe(now, c.core.Tier()); ok && act.Kind == autoscale.ActionJoin {
+			c.finishJoin(act.Server)
+		}
+		// A drain decision needs no immediate work: the Draining state
+		// already excludes the backend from new placements, and the reap
+		// below completes the removal once its bookings drain.
+	}
+	c.reapDrains()
+}
+
+// applyScale executes one scripted resize: positive delta joins that
+// many backends, negative drains them.
+func (c *Cluster) applyScale(delta int) {
+	if c.pool == nil {
+		return
+	}
+	now := c.vnow()
+	for ; delta > 0; delta-- {
+		if idx, ok := c.pool.Join(now); ok {
+			c.finishJoin(idx)
+		}
+	}
+	for ; delta < 0; delta++ {
+		c.pool.Drain(now)
+	}
+	c.reapDrains()
+}
+
+// finishJoin completes a join the pool just accepted: the overload
+// layer re-sizes to the grown pool, a first-window hit tracker opens,
+// and — unless the config asks for cold joins — the backend
+// warm-preloads the top rank-table files through the normal prefetch
+// machinery (marks first, then one batched disk read; demand traffic
+// piggybacks on the read exactly like proactive prefetches).
+func (c *Cluster) finishJoin(server int) {
+	now := c.vnow()
+	c.core.SetPoolSize(c.pool.Size(), now)
+	c.joinWindows = append(c.joinWindows, &joinWindow{
+		server: server,
+		start:  c.eng.Now(),
+		until:  c.eng.Now() + warmWindow,
+	})
+	if c.pool.Config().ColdJoin {
+		return
+	}
+	r := c.warmRanker()
+	if r == nil {
+		return
+	}
+	var files []string
+	for _, file := range r.Top(c.pool.Config().WarmTop) {
+		if _, known := c.files[file]; !known || trace.IsDynamicPath(file) {
+			continue
+		}
+		if c.core.MarkPrefetched(server, file) {
+			files = append(files, file)
+		}
+	}
+	c.prefetchBatch(server, files)
+}
+
+// warmRanker returns the popularity rank table warm joins preload from:
+// the replication manager's live-updated ranker when Algorithm 3 runs,
+// else the miner's offline one.
+func (c *Cluster) warmRanker() *mining.Ranker {
+	if c.replmgr != nil {
+		return c.replmgr.Ranker()
+	}
+	if c.cfg.Miner != nil {
+		return c.cfg.Miner.Ranker
+	}
+	return nil
+}
+
+// reapDrains removes Draining backends whose bookings hit zero: the
+// core detaches them (unpinning their idle sessions, which re-bind on
+// their next request), the drain's rebooked sessions are accounted —
+// unless the backend crashed mid-drain, in which case the invalidation
+// already unpinned everything and counting again would double-count —
+// and the backend's memory leaves with it, so a later rejoin starts
+// cold.
+func (c *Cluster) reapDrains() {
+	if c.pool == nil || !c.pool.HasDraining() {
+		return
+	}
+	loads := c.core.Loads()
+	for _, i := range c.pool.DrainingSet() {
+		b := c.backends[i]
+		if loads[i] != 0 || b.cpu.QueueLen() > 0 || b.disk.QueueLen() > 0 {
+			continue
+		}
+		now := c.vnow()
+		countRebooks, ok := c.pool.Remove(i, now)
+		if !ok {
+			continue
+		}
+		unpinned := c.core.DetachBackend(i)
+		if countRebooks {
+			c.pool.NoteRebooked(unpinned)
+		}
+		c.core.SetPoolSize(c.pool.Size(), now)
+		for file := range c.replicas {
+			delSet(c.replicas, file, i)
+		}
+		for file := range c.files {
+			b.store.Remove(file)
+		}
+	}
+}
+
+// noteWarmServe records one serve outcome at a backend inside any open
+// join window (hit mirrors the MemoryHits/MemoryMisses split).
+func (c *Cluster) noteWarmServe(server int, hit bool) {
+	if len(c.joinWindows) == 0 {
+		return
+	}
+	now := c.eng.Now()
+	for _, w := range c.joinWindows {
+		if w.server != server || now < w.start || now > w.until {
+			continue
+		}
+		if hit {
+			w.hits++
+		} else {
+			w.misses++
+		}
+	}
+}

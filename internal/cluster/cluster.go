@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"prord/internal/autoscale"
 	"prord/internal/cache"
 	"prord/internal/dispatch"
 	"prord/internal/metrics"
@@ -65,6 +66,27 @@ type Config struct {
 	// makes, in decision order (differential testing against the live
 	// front-end).
 	Recorder func(dispatch.Record)
+	// Autoscale enables the elastic backend pool: Params.Backends becomes
+	// the provisioned maximum and the pool starts at Autoscale.Initial
+	// members. With ScaleEvents empty and Overload enabled, an organic
+	// controller watches the tier ladder and resizes the pool itself;
+	// scripted ScaleEvents drive the pool directly (deterministic seeded
+	// scale schedules) and suppress the controller. Joining backends
+	// warm-preload the top rank-table files unless Autoscale.ColdJoin;
+	// draining backends finish their bound work and are reaped once their
+	// bookings hit zero. Nil keeps the fixed pool.
+	Autoscale *autoscale.Config
+	// ScaleEvents injects scripted pool resizes at virtual times.
+	ScaleEvents []ScaleEvent
+}
+
+// ScaleEvent is one scripted pool resize.
+type ScaleEvent struct {
+	// Delta is the signed membership change: +n joins n backends, -n
+	// drains n.
+	Delta int
+	// At is the virtual time the resize fires.
+	At time.Duration
 }
 
 // Failure is one injected backend crash.
@@ -103,6 +125,12 @@ type Cluster struct {
 
 	core    *dispatch.Core
 	replmgr *replicate.Manager
+	pool    *autoscale.Pool
+	actrl   *autoscale.Controller
+
+	// joinWindows tracks each join's first-minute serve outcomes at the
+	// joined backend (the warm-vs-cold bench signal).
+	joinWindows []*joinWindow
 
 	// replicas tracks Algorithm 3's placements (file -> backends); the
 	// replication manager owns placement, the core only routes to them
@@ -146,8 +174,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	total := cfg.Params.AppMemory + cfg.Params.PinnedMemory
 	maxPinned := cfg.Params.PinnedMemory
-	if !cfg.Features.Any() {
+	if !cfg.Features.Any() && !(cfg.Autoscale != nil && !cfg.Autoscale.ColdJoin) {
 		// Baselines never pin, so the whole pool serves demand traffic.
+		// Warm joins are the exception: their rank-table preload lands in
+		// pinned memory whatever the policy, or joining backends would
+		// silently come up cold.
 		maxPinned = 0
 	}
 	if cfg.Distributors < 1 {
@@ -200,6 +231,34 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Features.Replication {
 		c.replmgr = replicate.NewManager(cfg.Miner.Ranker, cfg.ReplicateConfig)
 	}
+	if cfg.Autoscale != nil {
+		ac := *cfg.Autoscale
+		if ac.Max <= 0 {
+			ac.Max = cfg.Params.Backends
+		}
+		if ac.Max != cfg.Params.Backends {
+			return nil, fmt.Errorf("cluster: Autoscale.Max %d must equal Params.Backends %d",
+				ac.Max, cfg.Params.Backends)
+		}
+		pool, err := autoscale.NewPool(ac)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.pool = pool
+		// Scripted schedules drive the pool directly; the organic
+		// controller only runs when there is a tier signal to watch and no
+		// script to defer to.
+		if len(cfg.ScaleEvents) == 0 && cfg.Overload != nil {
+			c.actrl = autoscale.NewController(pool)
+		}
+		for _, ev := range cfg.ScaleEvents {
+			if ev.Delta == 0 || ev.At < 0 {
+				return nil, fmt.Errorf("cluster: scale event invalid (delta %d at %v)", ev.Delta, ev.At)
+			}
+		}
+	} else if len(cfg.ScaleEvents) > 0 {
+		return nil, fmt.Errorf("cluster: ScaleEvents need Config.Autoscale")
+	}
 	if cfg.Power.Enabled {
 		c.power = newPowerTracker(cfg.Power, cfg.Params.Backends)
 	}
@@ -237,6 +296,7 @@ func New(cfg Config) (*Cluster, error) {
 		},
 		Overload: cfg.Overload,
 		Recorder: cfg.Recorder,
+		Pool:     c.pool,
 	}
 	if cfg.Overload != nil {
 		// Saturated-tier routing degrades to locality-only LARD.
@@ -300,6 +360,18 @@ func (c *Cluster) recoverServer(server int) {
 	c.down[server] = false
 }
 
+// poolPresent reports whether a backend is a member of the elastic
+// pool (always true with a fixed pool).
+func (c *Cluster) poolPresent(i int) bool {
+	return c.pool == nil || c.pool.Present(i)
+}
+
+// poolAccepting reports whether a backend may take new placements and
+// speculative work (not Draining; always true with a fixed pool).
+func (c *Cluster) poolAccepting(i int) bool {
+	return c.pool == nil || c.pool.AcceptingNew(i)
+}
+
 // anyUp reports whether at least one backend is alive.
 func (c *Cluster) anyUp() bool {
 	for _, d := range c.down {
@@ -324,8 +396,8 @@ func (c *Cluster) Holders(file string) []int {
 // network into the target's pinned memory.
 func (c *Cluster) Replicate(file string, server int) {
 	size, ok := c.files[file]
-	if !ok || trace.IsDynamicPath(file) || c.down[server] {
-		return // unknown, uncacheable, or target crashed
+	if !ok || trace.IsDynamicPath(file) || c.down[server] || !c.poolAccepting(server) {
+		return // unknown, uncacheable, target crashed or leaving the pool
 	}
 	b := c.backends[server]
 	addSet(c.replicas, file, server)

@@ -174,5 +174,5 @@ func (c *Cluster) sleeping(i int) bool {
 
 // unavailable reports whether a backend can accept new work.
 func (c *Cluster) unavailable(i int) bool {
-	return c.down[i] || c.sleeping(i)
+	return c.down[i] || c.sleeping(i) || !c.poolPresent(i)
 }

@@ -72,6 +72,12 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 			c.eng.At(f.RecoverAt, func() { c.recoverServer(f.Server) })
 		}
 	}
+	// Scripted pool resizes (the deterministic counterpart of the
+	// organic autoscale controller).
+	for _, ev := range c.cfg.ScaleEvents {
+		ev := ev
+		c.eng.At(ev.At, func() { c.applyScale(ev.Delta) })
+	}
 	// The PARD-style power controller, kept alive only while work remains.
 	if c.power != nil {
 		var tick func()
@@ -211,6 +217,7 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		return
 	case b.store.Touch(r.Path):
 		c.met.MemoryHits++
+		c.noteWarmServe(out.Server, true)
 		if c.core.ConsumePrefetch(out.Server, r.Path) {
 			c.met.PrefetchHits++
 		}
@@ -220,6 +227,7 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		// the internal network. No disk access, so it counts as a memory
 		// hit for locality purposes.
 		c.met.MemoryHits++
+		c.noteWarmServe(out.Server, true)
 		c.met.RemoteFetches++
 		b.net.Schedule(perKBCost(r.Size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
 			serve()
@@ -230,11 +238,13 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		// request still waited on disk, so it counts as a miss, but the
 		// prefetch was useful.
 		c.met.MemoryMisses++
+		c.noteWarmServe(out.Server, false)
 		c.met.PrefetchHits++
 		key := waiterKey(r.Path, out.Server)
 		c.waiters[key] = append(c.waiters[key], serve)
 	default:
 		c.met.MemoryMisses++
+		c.noteWarmServe(out.Server, false)
 		b.disk.Schedule(
 			c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB),
 			func(_, _ time.Duration) {
@@ -262,6 +272,7 @@ func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server
 		// The backend crashed while serving: the response never reached
 		// the client, which retries through the front-end.
 		c.core.Done(s.key, server, r.Path, true, false)
+		c.autoscaleTick()
 		if !c.anyUp() {
 			c.met.Failed++
 			c.remaining--
@@ -295,6 +306,7 @@ func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server
 			c.prefetchBatch(plan.Server, plan.Group)
 		}
 	}
+	c.autoscaleTick()
 	c.scheduleNext(tr, s)
 }
 

@@ -1,0 +1,297 @@
+package dispatch_test
+
+// Decision-core tests for the elastic pool: Draining exclusion from new
+// placements (while bound sessions keep their pin), warm-ramp load
+// steering, drain-completion detach accounting, and the
+// crash-while-draining double-count regression.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prord/internal/autoscale"
+	"prord/internal/dispatch"
+	"prord/internal/overload"
+	"prord/internal/policy"
+)
+
+// stickyPolicy routes a bound connection to its last server and every
+// new connection to a fixed first choice, making placement fully
+// predictable for the tests below.
+type stickyPolicy struct{ first int }
+
+func (p *stickyPolicy) Name() string { return "sticky" }
+
+func (p *stickyPolicy) Route(req policy.Request, view policy.View) policy.Decision {
+	if last, ok := view.LastServer(req.Conn); ok {
+		return policy.Decision{Server: last, Source: -1}
+	}
+	return policy.Decision{Server: p.first, Source: -1, Handoff: true}
+}
+
+// leastPolicy routes purely by the view's load signal, exposing the
+// warm-ramp penalty to the test.
+type leastPolicy struct{}
+
+func (leastPolicy) Name() string { return "least" }
+
+func (leastPolicy) Route(req policy.Request, view policy.View) policy.Decision {
+	return policy.Decision{Server: policy.LeastLoaded(view), Source: -1, Handoff: true}
+}
+
+func newElasticCore(t *testing.T, pol policy.Policy, cfg autoscale.Config) (*dispatch.Core, *autoscale.Pool) {
+	t.Helper()
+	pool, err := autoscale.NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dispatch.New(dispatch.Config{
+		Backends: cfg.Max,
+		Policy:   pol,
+		Pool:     pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, pool
+}
+
+func TestCorePoolMaxMustMatchBackends(t *testing.T) {
+	pool, err := autoscale.NewPool(autoscale.Config{Max: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dispatch.New(dispatch.Config{
+		Backends: 2,
+		Policy:   &stickyPolicy{},
+		Pool:     pool,
+	}); err == nil {
+		t.Fatal("New accepted Pool.Max != Backends")
+	}
+}
+
+// TestCoreDrainExcludesNewPlacements: a Draining backend takes no new
+// sessions — breaker-style exclusion — while an already-bound session
+// keeps routing to it until the drain completes, then rebooks.
+func TestCoreDrainExcludesNewPlacements(t *testing.T) {
+	c, pool := newElasticCore(t, &stickyPolicy{first: 1}, autoscale.Config{Max: 2, Initial: 2})
+	now := time.Unix(0, 0)
+
+	out := c.Route("bound", "/a.html", 100, now)
+	if !out.OK || out.Server != 1 {
+		t.Fatalf("bound session routed to %d, want 1", out.Server)
+	}
+	c.Done("bound", out.Server, "/a.html", false, false)
+
+	if idx, ok := pool.Drain(now); !ok || idx != 1 {
+		t.Fatalf("Drain = %d, %v; want 1, true", idx, ok)
+	}
+
+	// A fresh session asking for backend 1 is re-routed to the accepting
+	// backend, counted as a handoff.
+	out = c.Route("fresh", "/b.html", 100, now)
+	if !out.OK || out.Server != 0 || !out.Handoff {
+		t.Fatalf("fresh session on draining pool: server=%d handoff=%v, want 0/true", out.Server, out.Handoff)
+	}
+	c.Done("fresh", out.Server, "/b.html", false, false)
+
+	// The bound session still follows its pin to the draining backend.
+	out = c.Route("bound", "/a2.html", 100, now)
+	if !out.OK || out.Server != 1 || out.Switched {
+		t.Fatalf("bound session on draining backend: server=%d switched=%v, want 1/false", out.Server, out.Switched)
+	}
+	c.Done("bound", out.Server, "/a2.html", false, false)
+
+	// Complete the drain: Remove + DetachBackend. The bound session's
+	// pin is gone, so its next request rebooks onto backend 0.
+	if _, ok := pool.Remove(1, now); !ok {
+		t.Fatal("Remove failed")
+	}
+	if unpinned := c.DetachBackend(1); unpinned != 1 {
+		t.Fatalf("DetachBackend unpinned %d sessions, want 1", unpinned)
+	}
+	out = c.Route("bound", "/a3.html", 100, now)
+	if !out.OK || out.Server != 0 {
+		t.Fatalf("rebooked session routed to %d, want 0", out.Server)
+	}
+	c.Done("bound", out.Server, "/a3.html", false, false)
+}
+
+// TestCoreRebookPrefersAccepting: a failover re-route lands on an
+// accepting backend, falling back to a Draining one only when nothing
+// else is up.
+func TestCoreRebookPrefersAccepting(t *testing.T) {
+	c, pool := newElasticCore(t, &stickyPolicy{first: 0}, autoscale.Config{Max: 3, Initial: 3})
+	now := time.Unix(0, 0)
+
+	out := c.Route("s", "/a.html", 100, now)
+	if out.Server != 0 {
+		t.Fatalf("routed to %d, want 0", out.Server)
+	}
+	pool.Drain(now) // backend 2 drains
+
+	// The attempt on 0 fails; the rebook must pick 1 (accepting), not 2.
+	c.Done("s", 0, "/a.html", true, false)
+	srv, ok := c.Rebook("s", "/a.html", 0, now)
+	if !ok || srv != 1 {
+		t.Fatalf("Rebook = %d, %v; want 1, true", srv, ok)
+	}
+	c.Done("s", srv, "/a.html", false, true)
+
+	// With backend 1 also draining, only the Draining fallback remains
+	// (0 is excluded as the failed backend).
+	pool.Drain(now)
+	out = c.Route("s", "/b.html", 100, now)
+	c.Done("s", out.Server, "/b.html", true, false)
+	srv, ok = c.Rebook("s", "/b.html", 0, now)
+	if !ok || srv == 0 {
+		t.Fatalf("Rebook fallback = %d, %v; want a draining backend, true", srv, ok)
+	}
+	c.Done("s", srv, "/b.html", false, true)
+}
+
+// TestCoreWarmPenaltySteering: a Warming backend's load reads inflated
+// by the decaying ramp penalty, so a load-aware policy ramps traffic
+// onto it instead of dogpiling the empty cache.
+func TestCoreWarmPenaltySteering(t *testing.T) {
+	c, pool := newElasticCore(t, leastPolicy{},
+		autoscale.Config{Max: 2, Initial: 1, WarmRamp: 4, WarmPenalty: 4})
+	now := time.Unix(0, 0)
+
+	if idx, ok := pool.Join(now); !ok || idx != 1 {
+		t.Fatalf("Join = %d, %v; want 1, true", idx, ok)
+	}
+
+	// With the penalty of 4 on the warming backend, the first five
+	// concurrent requests pile on backend 0 (loads 0..4 vs penalty 4,
+	// ties to the lower index) before the sixth spills onto 1.
+	for i := 0; i < 5; i++ {
+		out := c.Route(fmt.Sprintf("s%d", i), fmt.Sprintf("/f%d.html", i), 100, now)
+		if out.Server != 0 {
+			t.Fatalf("request %d routed to %d, want 0 while the ramp penalty holds", i, out.Server)
+		}
+	}
+	out := c.Route("s5", "/f5.html", 100, now)
+	if out.Server != 1 {
+		t.Fatalf("spill request routed to %d, want warming backend 1", out.Server)
+	}
+
+	// Serving requests decays the penalty: after the ramp completes the
+	// warming backend competes on real load alone.
+	c.Done("s5", 1, "/f5.html", false, false)
+	for i := 0; i < 3; i++ {
+		pool.NoteServed(1)
+	}
+	if pen := pool.Penalty(1); pen != 0 {
+		t.Fatalf("penalty after ramp = %d, want 0", pen)
+	}
+	out = c.Route("s6", "/f6.html", 100, now)
+	if out.Server != 1 {
+		t.Fatalf("post-ramp request routed to %d, want 1 (load 0 vs 5)", out.Server)
+	}
+	c.Done("s6", 1, "/f6.html", false, false)
+	for i := 0; i < 5; i++ {
+		c.Done(fmt.Sprintf("s%d", i), 0, fmt.Sprintf("/f%d.html", i), false, false)
+	}
+}
+
+// TestCoreCrashWhileDraining is the satellite regression at the core
+// level: a backend invalidated mid-drain already unpinned its sessions,
+// so the later reap must not count the (empty) detach as drain rebooks
+// — while a clean drain on the same slot afterwards counts normally.
+func TestCoreCrashWhileDraining(t *testing.T) {
+	c, pool := newElasticCore(t, &stickyPolicy{first: 1}, autoscale.Config{Max: 2, Initial: 2})
+	now := time.Unix(0, 0)
+
+	reap := func(i int) {
+		t.Helper()
+		countRebooks, ok := pool.Remove(i, now)
+		if !ok {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+		unpinned := c.DetachBackend(i)
+		if countRebooks {
+			pool.NoteRebooked(unpinned)
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("s%d", i)
+		out := c.Route(key, "/a.html", 100, now)
+		if out.Server != 1 {
+			t.Fatalf("session %d routed to %d, want 1", i, out.Server)
+		}
+		c.Done(key, out.Server, "/a.html", false, false)
+	}
+
+	// Crash mid-drain: InvalidateBackend unpins both sessions and flags
+	// the slot; the reap's detach finds nothing and counts nothing.
+	pool.Drain(now)
+	c.InvalidateBackend(1)
+	reap(1)
+	if _, _, rebooked := pool.Counters(); rebooked != 0 {
+		t.Fatalf("rebooked = %d after crash-while-draining, want 0 (double-count regression)", rebooked)
+	}
+
+	// Clean drain of the same slot: rejoin, re-pin two sessions, drain
+	// and reap — now the two unpins are counted.
+	if _, ok := pool.Join(now); !ok {
+		t.Fatal("rejoin failed")
+	}
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("s%d", i)
+		out := c.Route(key, "/b.html", 100, now)
+		if out.Server != 1 {
+			t.Fatalf("session %d re-routed to %d, want 1", i, out.Server)
+		}
+		c.Done(key, out.Server, "/b.html", false, false)
+	}
+	pool.Drain(now)
+	reap(1)
+	if _, _, rebooked := pool.Counters(); rebooked != 2 {
+		t.Fatalf("rebooked = %d after clean drain, want 2", rebooked)
+	}
+}
+
+// TestCoreSetPoolSizeMovesTier: growing the pool recomputes the
+// estimator capacity and re-tiers; the admission gate's bound follows.
+func TestCoreSetPoolSizeMovesTier(t *testing.T) {
+	pool, err := autoscale.NewPool(autoscale.Config{Max: 2, Initial: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dispatch.New(dispatch.Config{
+		Backends: 2,
+		Policy:   &stickyPolicy{first: 0},
+		Pool:     pool,
+		Overload: &overload.Config{CapacityPerBackend: 4, MinHold: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+
+	// Four in-flight requests against one backend of capacity 4 put the
+	// ladder at Critical.
+	for i := 0; i < 4; i++ {
+		now = now.Add(time.Millisecond)
+		c.Route(fmt.Sprintf("s%d", i), "/a.html", 100, now)
+	}
+	if c.Tier().String() != "critical" {
+		t.Fatalf("tier = %v, want critical at 4/4", c.Tier())
+	}
+
+	// Joining the second backend doubles capacity; the ladder starts
+	// stepping down immediately (one rung, MinHold-paced like any other
+	// descent).
+	pool.Join(now)
+	c.SetPoolSize(pool.Size(), now.Add(time.Second))
+	if c.Tier().String() != "saturated" {
+		t.Fatalf("tier = %v, want saturated after grow", c.Tier())
+	}
+	for i := 0; i < 4; i++ {
+		c.Done(fmt.Sprintf("s%d", i), 0, "/a.html", false, false)
+		c.FinishRequest(now.Add(2*time.Second), time.Millisecond)
+	}
+}

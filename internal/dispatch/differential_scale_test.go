@@ -1,0 +1,199 @@
+package dispatch_test
+
+// Differential test for the elastic pool: the same seeded trace is
+// replayed through the simulator and the live front-end while an
+// identical scripted scale schedule fires at identical points in the
+// request sequence — the simulator via virtual-time ScaleEvents placed
+// between requests, the live side via ScaleUp/ScaleDown calls between
+// the same requests. Every decision record must match step for step:
+// joins, warm-ramp penalties, drain exclusion and post-drain session
+// rebooks all flow through the one shared core.
+//
+// Both sides join cold (ColdJoin): warm preloads move real bytes whose
+// arrival timing is substrate-owned — modeled disk on one side, async
+// HTTP hints on the other — so residency timing is not part of the
+// decision-stream contract. Warm-join behavior is covered by the
+// cluster-level warm-vs-cold comparison instead. The policy is WRR:
+// its load-blind rotation keeps landing on every pool slot, so joined
+// slots take traffic directly and drained slots force re-routes — in
+// the sequential replay loads are zero at every decision point, which
+// would let a locality policy park all placements on backend 0 and
+// leave the membership machinery untested.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"prord/internal/autoscale"
+	"prord/internal/cluster"
+	"prord/internal/dispatch"
+	"prord/internal/httpfront"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// scaleStep schedules one resize after the request at index `after`
+// completes (and before the next one issues).
+type scaleStep struct {
+	after int
+	delta int
+}
+
+func scaleConfig() autoscale.Config {
+	return autoscale.Config{
+		Max:         4,
+		Min:         1,
+		Initial:     2,
+		WarmRamp:    16,
+		WarmPenalty: 8,
+		ColdJoin:    true,
+	}
+}
+
+// runSimScale replays the trace through the simulator with the scale
+// schedule converted to virtual-time events: requests are re-spaced one
+// second apart, so firing at after×1s + 500ms lands between the target
+// request's completion and the next arrival.
+func runSimScale(t *testing.T, tr *trace.Trace, steps []scaleStep) []dispatch.Record {
+	t.Helper()
+	sink := &recordSink{}
+	var events []cluster.ScaleEvent
+	for _, s := range steps {
+		events = append(events, cluster.ScaleEvent{
+			Delta: s.delta,
+			At:    time.Duration(s.after)*time.Second + 500*time.Millisecond,
+		})
+	}
+	ac := scaleConfig()
+	cl, err := cluster.New(cluster.Config{
+		Params:      simParams(ac.Max),
+		Policy:      policy.NewWRR(ac.Max),
+		Recorder:    sink.record,
+		Autoscale:   &ac,
+		ScaleEvents: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	return sink.snapshot()
+}
+
+// runLiveScale replays the trace through the live front-end, applying
+// each scale step after its request's observation arrives — the same
+// sequence point the simulator's virtual-time event lands on. The
+// background scale ticker is parked at a huge interval so every pool
+// transition happens at these deterministic points.
+func runLiveScale(t *testing.T, tr *trace.Trace, steps []scaleStep) []dispatch.Record {
+	t.Helper()
+	sink := &recordSink{}
+	observed := make(chan struct{}, 1)
+	ac := scaleConfig()
+	cfg := httpfront.Config{
+		Policy:        policy.NewWRR(ac.Max),
+		Recorder:      sink.record,
+		Observe:       func(httpfront.Observation) { observed <- struct{}{} },
+		Autoscale:     &ac,
+		ScaleInterval: time.Hour,
+	}
+	for i := 0; i < ac.Max; i++ {
+		b := httpfront.NewDemoBackend("b", tr.Files, 1<<30, 0)
+		srv := httptest.NewServer(b)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backends = append(cfg.Backends, u)
+	}
+	d, err := httpfront.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	front := httptest.NewServer(d)
+	t.Cleanup(front.Close)
+
+	pending := make(map[int][]int)
+	for _, s := range steps {
+		pending[s.after] = append(pending[s.after], s.delta)
+	}
+
+	clients := make(map[int]*http.Client)
+	for i, r := range tr.Requests {
+		c := clients[r.Session]
+		if c == nil {
+			transport := &http.Transport{}
+			t.Cleanup(transport.CloseIdleConnections)
+			c = &http.Client{Transport: transport}
+			clients[r.Session] = c
+		}
+		resp, err := c.Get(front.URL + r.Path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", r.Path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		select {
+		case <-observed:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("GET %s: no observation", r.Path)
+		}
+		for _, delta := range pending[i] {
+			for ; delta > 0; delta-- {
+				if _, ok := d.ScaleUp(); !ok {
+					t.Fatalf("ScaleUp after request %d refused", i)
+				}
+			}
+			for ; delta < 0; delta++ {
+				if _, ok := d.ScaleDown(); !ok {
+					t.Fatalf("ScaleDown after request %d refused", i)
+				}
+			}
+		}
+	}
+	return sink.snapshot()
+}
+
+// TestDifferentialScriptedScale replays one trace through both adapters
+// under an identical grow-grow-shrink schedule and requires
+// byte-identical decision records.
+func TestDifferentialScriptedScale(t *testing.T) {
+	tr, _ := diffWorkload(t, 700, 233)
+	n := len(tr.Requests)
+	if n < 40 {
+		t.Fatalf("workload too small for a scale schedule: %d requests", n)
+	}
+	// Join early — WRR binds each session on its first request, so the
+	// joined slots must be present while sessions are still arriving —
+	// and drain late, so sessions bound to the drained slot rebook.
+	steps := []scaleStep{
+		{after: 5, delta: 1},
+		{after: 10, delta: 1},
+		{after: 3 * n / 4, delta: -1},
+	}
+	sim := runSimScale(t, tr, steps)
+	live := runLiveScale(t, tr, steps)
+	if len(sim) != n {
+		t.Fatalf("sim recorded %d decisions for %d requests", len(sim), n)
+	}
+	diffRecords(t, sim, live)
+
+	// The comparison must not be vacuous: the joined slots (indices past
+	// Initial) must actually have served decisions.
+	joined := 0
+	for _, r := range sim {
+		if r.Server >= scaleConfig().Initial {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no decision ever used a joined backend; the scale schedule did nothing")
+	}
+}

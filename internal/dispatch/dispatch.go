@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prord/internal/autoscale"
 	"prord/internal/cache"
 	"prord/internal/mining"
 	"prord/internal/overload"
@@ -108,6 +109,15 @@ type Config struct {
 	// Overload enables the degrade ladder: estimator, tiered shedding
 	// and Critical-tier admission. Nil disables the layer.
 	Overload *overload.Config
+	// Pool, when non-nil, makes the backend set elastic: Backends becomes
+	// the provisioned maximum (Pool.Max must equal it) and membership is
+	// read per decision — Absent slots are invisible, Draining backends
+	// serve bound sessions but take no new placements, and Warming
+	// backends carry a decaying load penalty until their cache ramp
+	// completes. The pool's read path is lock-free, so consulting it
+	// under the core's locks adds no edge to the lock hierarchy. Nil
+	// keeps the fixed-pool behavior bit-for-bit.
+	Pool *autoscale.Pool
 	// Recorder, when non-nil, receives one Record per decision the core
 	// makes, in decision order. It runs on the deciding goroutine and
 	// must be fast; it exists for differential testing and diagnostics.
@@ -317,6 +327,10 @@ func New(cfg Config) (*Core, error) {
 	if cfg.Features.any() && cfg.Miner == nil {
 		return nil, fmt.Errorf("dispatch: features %+v need a Miner", cfg.Features)
 	}
+	if cfg.Pool != nil && cfg.Pool.Max() != cfg.Backends {
+		return nil, fmt.Errorf("dispatch: Pool.Max %d must equal Backends %d",
+			cfg.Pool.Max(), cfg.Backends)
+	}
 	if cfg.LocalityEntries <= 0 {
 		cfg.LocalityEntries = 4096
 	}
@@ -388,10 +402,39 @@ func New(cfg Config) (*Core, error) {
 			return nil, fmt.Errorf("dispatch: %w", err)
 		}
 		c.ovcfg = oc
-		c.est = overload.NewEstimator(oc, cfg.Backends)
-		c.gate = overload.NewGate(oc.CapacityPerBackend*cfg.Backends, oc.QueueLimit)
+		// With an elastic pool the capacity tracks the *present* backend
+		// count, not the provisioned maximum; SetPoolSize keeps it current.
+		nb := cfg.Backends
+		if cfg.Pool != nil {
+			nb = cfg.Pool.Size()
+		}
+		c.est = overload.NewEstimator(oc, nb)
+		c.gate = overload.NewGate(oc.CapacityPerBackend*nb, oc.QueueLimit)
 	}
 	return c, nil
+}
+
+// SetPoolSize re-sizes the overload layer for an elastically resized
+// pool: the estimator's capacity recomputes (and the ladder re-tiers
+// against it), and the admission gate's in-flight bound follows. Queued
+// requests granted by freed headroom have their grant callbacks run
+// before SetPoolSize returns. No-op when the overload layer is
+// disabled.
+func (c *Core) SetPoolSize(n int, now time.Time) {
+	if c.est == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.ovMu.Lock()
+	c.est.SetBackends(n, now)
+	c.tierC.Store(int32(c.est.Tier()))
+	grants := c.gate.SetLimit(c.ovcfg.CapacityPerBackend * n)
+	c.ovMu.Unlock()
+	for _, g := range grants {
+		g()
+	}
 }
 
 // Tier returns the degrade ladder's current position (Normal when the

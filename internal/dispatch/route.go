@@ -185,7 +185,8 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		pol = c.fallback
 	}
 
-	view := &coreView{c: c, avail: avail}
+	accept := c.acceptMask(avail)
+	view := &coreView{c: c, avail: avail, accept: accept}
 	last, haveLast := view.LastServer(st.id)
 
 	var dec policy.Decision
@@ -207,14 +208,16 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		panic(fmt.Sprintf("dispatch: policy %s routed to invalid server %d", pol.Name(), dec.Server))
 	}
 	// Load-blind policies (WRR) may still pick an unavailable backend;
-	// re-route to the least-loaded available one.
-	if !avail[dec.Server] {
+	// re-route to the least-loaded accepting one. Likewise a fresh
+	// placement on a Draining backend moves to an accepting one — only a
+	// session already pinned there may keep following its binding.
+	if !avail[dec.Server] || (!accept[dec.Server] && !(haveLast && last == dec.Server)) {
 		best, found := -1, false
-		for i := range avail {
-			if !avail[i] {
+		for i := range accept {
+			if !accept[i] {
 				continue
 			}
-			if !found || c.loadOf(i) < c.loadOf(best) {
+			if !found || c.routeLoad(i) < c.routeLoad(best) {
 				best, found = i, true
 			}
 		}
@@ -330,27 +333,47 @@ func (c *Core) Done(key string, server int, path string, failed, retried bool) {
 		c.stats.errors.Add(1)
 		return
 	}
+	if c.cfg.Pool != nil {
+		// Advance the backend's warm ramp: each served request shrinks the
+		// penalty a Warming backend carries toward promotion.
+		c.cfg.Pool.NoteServed(server)
+	}
 	if retried {
 		c.stats.failovers.Add(1)
 	}
 }
 
 // Rebook re-routes a request whose attempt on the excluded backend
-// failed: it picks the least-loaded available backend, re-pins the
-// session, and registers the retry in the routing state. ok is false
-// when no alternative backend exists.
+// failed: it picks the least-loaded available backend — preferring
+// backends open to new placements, falling back to Draining ones only
+// when nothing else is up — re-pins the session, and registers the
+// retry in the routing state. ok is false when no alternative backend
+// exists.
 func (c *Core) Rebook(key, path string, exclude int, now time.Time) (server int, ok bool) {
 	c.polMu.Lock()
 	defer c.polMu.Unlock()
 	avail, _ := c.availMask(now)
+	pick := func(acceptOnly bool) (int, bool) {
+		best, found := -1, false
+		for i := range avail {
+			if i == exclude || !avail[i] {
+				continue
+			}
+			if acceptOnly && !c.cfg.Pool.AcceptingNew(i) {
+				continue
+			}
+			if !found || c.routeLoad(i) < c.routeLoad(best) {
+				best, found = i, true
+			}
+		}
+		return best, found
+	}
 	best, found := -1, false
-	for i := range avail {
-		if i == exclude || !avail[i] {
-			continue
-		}
-		if !found || c.loadOf(i) < c.loadOf(best) {
-			best, found = i, true
-		}
+	if c.cfg.Pool != nil {
+		best, found = pick(true)
+	}
+	if !found {
+		best, found = pick(false)
 	}
 	if !found {
 		return 0, false
@@ -381,8 +404,30 @@ func (c *Core) Rebook(key, path string, exclude int, now time.Time) (server int,
 // backend that crashed or whose breaker tripped: its locality state
 // (exact residency or the optimistic map — the process behind it
 // likely lost its memory), its prefetch marks, and every session
-// pinned to it, which must re-bind on its next request.
+// pinned to it, which must re-bind on its next request. An elastic
+// pool is notified so a backend invalidated *while Draining* is not
+// also credited drain rebooks when it is later reaped — the sessions
+// were already unpinned here, and counting the reaper's (empty) detach
+// again would double-count.
 func (c *Core) InvalidateBackend(server int) {
+	c.detach(server)
+	if c.cfg.Pool != nil {
+		c.cfg.Pool.NoteInvalidated(server)
+	}
+}
+
+// DetachBackend is the drain-completion counterpart of
+// InvalidateBackend: same state teardown, but it returns how many
+// sessions were unpinned so the adapter can account them as rebooked
+// by the drain (each re-binds through the normal path on its next
+// request).
+func (c *Core) DetachBackend(server int) (unpinned int) {
+	return c.detach(server)
+}
+
+// detach clears a backend's locality state, prefetch marks and session
+// pins, returning the number of sessions unpinned.
+func (c *Core) detach(server int) (unpinned int) {
 	c.polMu.Lock()
 	defer c.polMu.Unlock()
 	for i := range c.fsh {
@@ -406,8 +451,10 @@ func (c *Core) InvalidateBackend(server int) {
 		for _, st := range sh.byKey {
 			if st.hasSrv && st.server == server {
 				st.hasSrv = false
+				unpinned++
 			}
 		}
 		sh.mu.Unlock()
 	}
+	return unpinned
 }

@@ -144,8 +144,14 @@ func (c *Core) CloseConn(key string) {
 	}
 }
 
-// available reports whether a backend can take new work at now.
+// available reports whether a backend can take new work at now. With an
+// elastic pool, Absent slots are never available; Draining backends are
+// (bound sessions still route to them) — the accept mask handles their
+// exclusion from new placements.
 func (c *Core) available(server int, now time.Time) bool {
+	if c.cfg.Pool != nil && !c.cfg.Pool.Present(server) {
+		return false
+	}
 	if c.cfg.Available == nil {
 		return true
 	}
@@ -172,6 +178,39 @@ func (c *Core) loadOf(server int) int {
 	return int(c.loads[server].Load())
 }
 
+// routeLoad is the placement signal for new work: the load signal plus
+// the warm-ramp penalty a just-joined backend carries, so load-aware
+// policies ramp traffic onto it instead of dogpiling the empty cache.
+func (c *Core) routeLoad(server int) int {
+	l := c.loadOf(server)
+	if c.cfg.Pool != nil {
+		l += c.cfg.Pool.Penalty(server)
+	}
+	return l
+}
+
+// acceptMask narrows an availability mask to backends open to new
+// placements (not Draining). When nothing accepts — every present
+// backend is draining — it falls back to the availability mask so
+// traffic still routes; with no pool the two masks are one slice.
+func (c *Core) acceptMask(avail []bool) []bool {
+	if c.cfg.Pool == nil {
+		return avail
+	}
+	accept := make([]bool, len(avail))
+	n := 0
+	for i := range avail {
+		if avail[i] && c.cfg.Pool.AcceptingNew(i) {
+			accept[i] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return avail
+	}
+	return accept
+}
+
 // residentHere reports whether the core believes a backend holds file:
 // ground truth in exact mode, the bounded locality LRU otherwise.
 // Callers hold the file's shard mutex.
@@ -185,22 +224,28 @@ func (f *fileShard) residentHere(exact bool, server int, file string) bool {
 // coreView implements policy.View for one routing decision, filtering
 // unavailable backends exactly as both adapters used to: their load
 // reads as the UnavailableLoad sentinel, they vanish from server sets,
-// and a connection pinned to one loses its binding. The view is only
-// used under polMu; shard mutexes are taken as leaves — an ordering
-// the lockorder analyzer verifies interprocedurally on every lint run
-// (polMu rank 10, shard mutexes leaf ranks; see the Core doc comment).
+// and a connection pinned to one loses its binding. With an elastic
+// pool the accept mask additionally hides Draining backends from new
+// placements (the breaker-style exclusion, applied one lifecycle state
+// earlier) while LastServer still honors a session's pin to one, and
+// Warming backends report their load inflated by the decaying ramp
+// penalty. The view is only used under polMu; shard mutexes are taken
+// as leaves — an ordering the lockorder analyzer verifies
+// interprocedurally on every lint run (polMu rank 10, shard mutexes
+// leaf ranks; see the Core doc comment).
 type coreView struct {
-	c    *Core
-	avail []bool
+	c      *Core
+	avail  []bool // present and healthy: bound sessions may stay
+	accept []bool // additionally open to new placements
 }
 
 func (v *coreView) NumServers() int { return v.c.cfg.Backends }
 
 func (v *coreView) Load(i int) int {
-	if !v.avail[i] {
+	if !v.accept[i] {
 		return policy.UnavailableLoad
 	}
-	return v.c.loadOf(i)
+	return v.c.routeLoad(i)
 }
 
 func (v *coreView) ServersWith(file string) []int {
@@ -211,8 +256,8 @@ func (v *coreView) ServersWith(file string) []int {
 		return v.filter(f.memory[file])
 	}
 	var out []int
-	for s := range v.avail {
-		if v.avail[s] && f.locality[s].Contains(file) {
+	for s := range v.accept {
+		if v.accept[s] && f.locality[s].Contains(file) {
 			out = append(out, s)
 		}
 	}
@@ -235,7 +280,7 @@ func (v *coreView) filter(set map[int]bool) []int {
 	}
 	out := make([]int, 0, len(set))
 	for s := range set {
-		if v.avail[s] {
+		if v.accept[s] {
 			out = append(out, s)
 		}
 	}
@@ -249,7 +294,7 @@ func (v *coreView) InFlight(file string) (int, bool) {
 	defer f.mu.Unlock()
 	best, found := 0, false
 	for s, n := range f.inflight[file] {
-		if n <= 0 || !v.avail[s] {
+		if n <= 0 || !v.accept[s] {
 			continue
 		}
 		if !found || s < best {

@@ -1,0 +1,127 @@
+package httpfront
+
+import (
+	"time"
+
+	"prord/internal/autoscale"
+	"prord/internal/dispatch"
+	"prord/internal/trace"
+)
+
+// scaleLoop runs the elastic-pool housekeeping on a wall-clock ticker
+// until stop closes. The loop never runs with a nil pool.
+func (d *Distributor) scaleLoop(stop <-chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			d.scaleTick()
+		}
+	}
+}
+
+// scaleTick is one housekeeping round: promote backends whose warm ramp
+// finished, let the organic controller take a scale decision off the
+// current tier, and reap drained backends (also done on the completion
+// path; the tick covers idle periods).
+func (d *Distributor) scaleTick() {
+	now := time.Now()
+	d.pool.Settle(now)
+	if d.actrl != nil {
+		if act, ok := d.actrl.Observe(now, d.core.Tier()); ok && act.Kind == autoscale.ActionJoin {
+			d.finishJoin(act.Server)
+		}
+	}
+	d.reapDrains()
+}
+
+// ScaleUp joins one backend into the elastic pool (a scripted scale
+// event, the live counterpart of the simulator's ScaleEvents). It
+// returns the joined backend's index; ok is false when autoscaling is
+// disabled or the pool is already at Max.
+func (d *Distributor) ScaleUp() (server int, ok bool) {
+	if d.pool == nil {
+		return -1, false
+	}
+	idx, ok := d.pool.Join(time.Now())
+	if !ok {
+		return -1, false
+	}
+	d.finishJoin(idx)
+	return idx, true
+}
+
+// ScaleDown starts draining one backend out of the elastic pool. The
+// backend leaves once its bookings clear; ok is false when autoscaling
+// is disabled or the pool sits at Min.
+func (d *Distributor) ScaleDown() (server int, ok bool) {
+	if d.pool == nil {
+		return -1, false
+	}
+	idx, ok := d.pool.Drain(time.Now())
+	if ok {
+		d.reapDrains()
+	}
+	return idx, ok
+}
+
+// finishJoin completes a join the pool just accepted: the overload
+// layer re-sizes to the grown pool and — unless the config asks for
+// cold joins — the backend warm-preloads the miner's top rank-table
+// files through the prefetch-hint path (marks registered synchronously
+// with the core, transfers async like every other hint).
+func (d *Distributor) finishJoin(server int) {
+	d.core.SetPoolSize(d.pool.Size(), time.Now())
+	if d.pool.Config().ColdJoin || d.cfg.Miner == nil || d.cfg.Miner.Ranker == nil {
+		return
+	}
+	plan := dispatch.Plan{Server: server}
+	for _, file := range d.cfg.Miner.Ranker.Top(d.pool.Config().WarmTop) {
+		if trace.IsDynamicPath(file) {
+			continue
+		}
+		if d.core.MarkPrefetched(server, file) {
+			plan.Nav = append(plan.Nav, file)
+		}
+	}
+	d.enqueuePrefetch(plan)
+}
+
+// reapDrains removes Draining backends whose bookings hit zero: the
+// core detaches them (idle sessions re-bind on their next request) and
+// the drain's rebooked sessions are accounted — unless the backend's
+// breaker tripped mid-drain, in which case the invalidation already
+// unpinned everything and counting again would double-count.
+func (d *Distributor) reapDrains() {
+	if d.pool == nil || !d.pool.HasDraining() {
+		return
+	}
+	loads := d.core.Loads()
+	for _, i := range d.pool.DrainingSet() {
+		if i >= len(loads) || loads[i] != 0 {
+			continue
+		}
+		countRebooks, ok := d.pool.Remove(i, time.Now())
+		if !ok {
+			continue
+		}
+		unpinned := d.core.DetachBackend(i)
+		if countRebooks {
+			d.pool.NoteRebooked(unpinned)
+		}
+		d.core.SetPoolSize(d.pool.Size(), time.Now())
+	}
+}
+
+// Pool returns the elastic pool's snapshot for the cluster stats
+// endpoint, or nil when autoscaling is disabled.
+func (d *Distributor) Pool() *autoscale.Status {
+	if d.pool == nil {
+		return nil
+	}
+	st := d.pool.Snapshot()
+	return &st
+}

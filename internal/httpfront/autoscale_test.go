@@ -1,0 +1,205 @@
+package httpfront
+
+// Live-front-end tests for the elastic pool: a scripted ScaleUp must
+// push warm-preload hints to the joined backend over HTTP, a ScaleDown
+// must drain and reap once bookings clear, and the pool's state must
+// show up on the cluster stats endpoint.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"prord/internal/autoscale"
+	"prord/internal/overload"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLiveScaleUpWarmsBackend joins a backend into a warm pool and
+// checks the rank-table preload hints actually arrive at it as HTTP
+// prefetch requests.
+func TestLiveScaleUpWarmsBackend(t *testing.T) {
+	// No demand traffic: the only prefetch hints in flight are the warm
+	// preload's, so the per-backend counts below are unambiguous.
+	d, _, backs := testCluster(t, 3, Config{
+		Miner:    testMiner(),
+		Prefetch: true,
+		Autoscale: &autoscale.Config{
+			Initial: 2,
+			Min:     1,
+			WarmTop: 8,
+		},
+		ScaleInterval: time.Hour, // park the ticker: the test drives every step
+	})
+
+	srv, ok := d.ScaleUp()
+	if !ok || srv != 2 {
+		t.Fatalf("ScaleUp = %d, %v; want 2, true", srv, ok)
+	}
+	if st := d.Pool(); st.Size != 3 || st.States[2] != autoscale.Warming {
+		t.Fatalf("pool after join = %+v, want size 3 with slot 2 warming", st)
+	}
+	// The warm hints transfer asynchronously through the prefetch worker.
+	waitFor(t, "warm hints at the joined backend", func() bool {
+		return backs[2].Stats().Prefetches > 0
+	})
+	if backs[0].Stats().Prefetches+backs[1].Stats().Prefetches > 0 {
+		t.Error("warm preload leaked hints to already-ready backends")
+	}
+	// A second join must fail: the pool is at Max.
+	if _, ok := d.ScaleUp(); ok {
+		t.Fatal("ScaleUp past Max succeeded")
+	}
+}
+
+// TestLiveScaleDownDrainsAndReaps drains a backend with no in-flight
+// work: the reap is immediate, the pool shrinks, the drained slot's
+// sessions rebook, and traffic keeps flowing.
+func TestLiveScaleDownDrainsAndReaps(t *testing.T) {
+	d, front, _ := testCluster(t, 2, Config{
+		Miner: testMiner(),
+		Autoscale: &autoscale.Config{
+			Initial:  2,
+			Min:      1,
+			ColdJoin: true,
+		},
+		ScaleInterval: time.Hour,
+	})
+	client := front.Client()
+	get(t, client, front.URL, "/a.html")
+
+	srv, ok := d.ScaleDown()
+	if !ok {
+		t.Fatal("ScaleDown refused with the pool above Min")
+	}
+	if st := d.Pool(); st.Size != 1 || st.States[srv] != autoscale.Absent {
+		t.Fatalf("pool after idle drain = %+v, want size 1 with slot %d reaped", st, srv)
+	}
+	if st := d.Pool(); st.Drains != 1 {
+		t.Fatalf("drains = %d, want 1", st.Drains)
+	}
+	// At Min the pool refuses to shrink further.
+	if _, ok := d.ScaleDown(); ok {
+		t.Fatal("ScaleDown below Min succeeded")
+	}
+	// Traffic still flows through the surviving backend.
+	resp := get(t, client, front.URL, "/b.html")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain request status = %d", resp.StatusCode)
+	}
+}
+
+// TestClusterStatsExposePool checks /_prord/cluster carries the pool
+// block while autoscaling is on, and omits it when off.
+func TestClusterStatsExposePool(t *testing.T) {
+	d, front, backs := testCluster(t, 2, Config{
+		Miner: testMiner(),
+		Autoscale: &autoscale.Config{
+			Initial:  2,
+			Min:      1,
+			ColdJoin: true,
+		},
+		ScaleInterval: time.Hour,
+	})
+	get(t, front.Client(), front.URL, "/a.html")
+	if _, ok := d.ScaleDown(); !ok {
+		t.Fatal("ScaleDown refused")
+	}
+	srv := httptest.NewServer(ClusterStatsHandler(d, backs))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Pool *struct {
+			Min    int      `json:"min"`
+			Max    int      `json:"max"`
+			Size   int      `json:"size"`
+			States []string `json:"states"`
+			Drains int64    `json:"drains"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Pool == nil {
+		t.Fatal("cluster stats missing pool block with autoscaling on")
+	}
+	if payload.Pool.Size != 1 || payload.Pool.Max != 2 || payload.Pool.Drains != 1 {
+		t.Fatalf("pool block = %+v, want size 1 of max 2 with one drain", payload.Pool)
+	}
+	if len(payload.Pool.States) != 2 || payload.Pool.States[1] != "absent" {
+		t.Fatalf("pool states = %v, want the drained slot absent", payload.Pool.States)
+	}
+
+	// With autoscaling off the block is absent entirely.
+	d2, front2, backs2 := testCluster(t, 1, Config{})
+	get(t, front2.Client(), front2.URL, "/a.html")
+	srv2 := httptest.NewServer(ClusterStatsHandler(d2, backs2))
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := generic["pool"]; ok {
+		t.Fatal("pool block present with autoscaling disabled")
+	}
+}
+
+// TestLiveOrganicControllerWired checks the organic controller comes up
+// when Overload and Autoscale are both configured, and that a join it
+// decides flows through finishJoin into the pool and the core.
+func TestLiveOrganicControllerWired(t *testing.T) {
+	d, _, _ := testCluster(t, 2, Config{
+		Miner:    testMiner(),
+		Overload: &overload.Config{},
+		Autoscale: &autoscale.Config{
+			Initial:  1,
+			Min:      1,
+			UpHold:   time.Millisecond,
+			Cooldown: time.Millisecond,
+			ColdJoin: true,
+		},
+		ScaleInterval: time.Hour,
+	})
+	if d.actrl == nil {
+		t.Fatal("no organic controller with Overload and Autoscale both configured")
+	}
+	// Sustained Saturated past UpHold: the second observation joins.
+	now := time.Now()
+	d.actrl.Observe(now, overload.Saturated)
+	act, ok := d.actrl.Observe(now.Add(50*time.Millisecond), overload.Saturated)
+	if !ok || act.Kind != autoscale.ActionJoin {
+		t.Fatalf("controller under sustained Saturated = %+v, %v; want a join", act, ok)
+	}
+	d.finishJoin(act.Server)
+	if st := d.Pool(); st.Size != 2 || st.Joins != 1 {
+		t.Fatalf("pool after organic join = %+v, want size 2 with one join", st)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"prord/internal/autoscale"
 	"prord/internal/dispatch"
 	"prord/internal/health"
 	"prord/internal/mining"
@@ -105,6 +106,18 @@ type Config struct {
 	// makes, in decision order (differential testing against the
 	// simulator).
 	Recorder func(dispatch.Record)
+	// Autoscale enables the elastic backend pool: Backends becomes the
+	// provisioned maximum and the pool starts at Autoscale.Initial
+	// members. With Overload also enabled, an organic controller watches
+	// the tier ladder on the scale tick and resizes the pool; ScaleUp
+	// and ScaleDown drive it directly (the load generator's scripted
+	// schedules). Warm joins preload rank-table files through the
+	// prefetch-hint path, so they need Prefetch and a Miner; otherwise
+	// joins are effectively cold. Nil keeps the fixed pool.
+	Autoscale *autoscale.Config
+	// ScaleInterval is the autoscale housekeeping tick (warm-ramp
+	// promotion, organic controller, drain reaping). Default 500ms.
+	ScaleInterval time.Duration
 }
 
 // Observation is one completed demand request as seen by the front-end:
@@ -196,6 +209,10 @@ type Distributor struct {
 	hintsDropped  int64
 	prefetchFails int64
 	probeStop     chan struct{}
+	scaleStop     chan struct{}
+
+	pool  *autoscale.Pool
+	actrl *autoscale.Controller
 }
 
 type prefetchJob struct {
@@ -247,6 +264,24 @@ func New(cfg Config) (*Distributor, error) {
 		d.proxies = append(d.proxies, p)
 		d.breakers = append(d.breakers, health.NewBreaker(cfg.Health))
 	}
+	if cfg.Autoscale != nil {
+		ac := *cfg.Autoscale
+		if ac.Max <= 0 {
+			ac.Max = len(cfg.Backends)
+		}
+		if ac.Max != len(cfg.Backends) {
+			return nil, fmt.Errorf("httpfront: Autoscale.Max %d must equal backend count %d",
+				ac.Max, len(cfg.Backends))
+		}
+		pool, err := autoscale.NewPool(ac)
+		if err != nil {
+			return nil, fmt.Errorf("httpfront: %w", err)
+		}
+		d.pool = pool
+		if cfg.Overload != nil {
+			d.actrl = autoscale.NewController(pool)
+		}
+	}
 	dcfg := dispatch.Config{
 		Backends: len(cfg.Backends),
 		Policy:   cfg.Policy,
@@ -269,6 +304,7 @@ func New(cfg Config) (*Distributor, error) {
 		},
 		Overload: cfg.Overload,
 		Recorder: cfg.Recorder,
+		Pool:     d.pool,
 	}
 	if cfg.Overload != nil {
 		// Saturated-tier routing degrades to locality-only LARD.
@@ -287,6 +323,14 @@ func New(cfg Config) (*Distributor, error) {
 		d.probeClient = &http.Client{Timeout: cfg.ProbeTimeout}
 		d.probeStop = make(chan struct{})
 		go health.Probe(cfg.ProbeInterval, randutil.New(cfg.ProbeSeed), d.probeStop, d.probeOnce)
+	}
+	if d.pool != nil {
+		interval := cfg.ScaleInterval
+		if interval <= 0 {
+			interval = 500 * time.Millisecond
+		}
+		d.scaleStop = make(chan struct{})
+		go d.scaleLoop(d.scaleStop, interval)
 	}
 	return d, nil
 }
@@ -438,6 +482,11 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	latency := time.Since(start)
 	d.core.FinishRequest(time.Now(), latency)
+	// Reap on the completion path (not just the scale tick) so a drained
+	// backend leaves as soon as its last booking clears — the same reap
+	// point the simulator uses, which keeps sequential replays
+	// deterministic for differential testing.
+	d.reapDrains()
 	// PRORD's proactive pass (bundle, navigation, category prefetch over
 	// HTTP hints) runs after the page is served, like the simulator's
 	// backend-side prefetching.
@@ -719,11 +768,16 @@ func (d *Distributor) Close() {
 	d.prefetch = nil
 	stop := d.probeStop
 	d.probeStop = nil
+	scale := d.scaleStop
+	d.scaleStop = nil
 	d.hmu.Unlock()
 	if ch != nil {
 		close(ch)
 	}
 	if stop != nil {
 		close(stop)
+	}
+	if scale != nil {
+		close(scale)
 	}
 }

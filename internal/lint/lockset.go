@@ -64,11 +64,13 @@ type rankDef struct {
 // class is never taken (stripe order is not statically checkable, so
 // nesting same-class stripes is flagged outright).
 var lockHierarchy = []rankDef{
+	{"internal/autoscale", "Controller", "mu", 5, false},
 	{"internal/dispatch", "Core", "polMu", 10, false},
 	{"internal/dispatch", "Core", "trackMu", 20, false},
 	{"internal/dispatch", "Core", "ovMu", 30, false},
 	{"internal/dispatch", "sessionShard", "mu", 90, true},
 	{"internal/dispatch", "fileShard", "mu", 91, true},
+	{"internal/autoscale", "Pool", "mu", 95, true},
 }
 
 // classifyLock maps the receiver of a Lock/Unlock call to its class.

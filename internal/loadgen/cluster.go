@@ -111,6 +111,7 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 		ProbeInterval: h.cfg.ProbeInterval,
 		ProbeSeed:     h.cfg.Seed,
 		Overload:      h.cfg.Overload,
+		Autoscale:     h.cfg.Autoscale,
 	}
 	if polName == "PRORD" {
 		cfg.Miner = h.freshMiner()

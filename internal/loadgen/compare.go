@@ -53,13 +53,22 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 	for _, f := range h.cfg.Faults {
 		fails = append(fails, cluster.Failure{Server: f.Backend, At: f.At, RecoverAt: f.RecoverAt})
 	}
+	// The scale schedule maps the same way: the simulator's pool joins
+	// and drains at the live schedule's offsets (with the same closed-
+	// mode time-compression caveat as faults).
+	var scales []cluster.ScaleEvent
+	for _, e := range h.cfg.ScaleEvents {
+		scales = append(scales, cluster.ScaleEvent{Delta: e.Delta, At: e.At})
+	}
 	cl, err := cluster.New(cluster.Config{
-		Params:   params,
-		Policy:   pol,
-		Features: feats,
-		Miner:    miner,
-		Failures: fails,
-		Overload: h.cfg.Overload,
+		Params:      params,
+		Policy:      pol,
+		Features:    feats,
+		Miner:       miner,
+		Failures:    fails,
+		Overload:    h.cfg.Overload,
+		Autoscale:   h.cfg.Autoscale,
+		ScaleEvents: scales,
 	})
 	if err != nil {
 		return nil, err

@@ -44,8 +44,13 @@ type configJSON struct {
 	// Overload echoes the effective (defaulted) overload configuration;
 	// omitted when overload control is off so older artifacts are
 	// unchanged.
-	Overload   *overloadJSON `json:"overload,omitempty"`
-	CompareSim bool          `json:"compare_sim"`
+	Overload *overloadJSON `json:"overload,omitempty"`
+	// Autoscale echoes the effective elastic-pool configuration and
+	// ScaleEvents the scripted resize schedule; both are omitted when
+	// the pool is static so older artifacts are unchanged.
+	Autoscale   *autoscaleJSON `json:"autoscale,omitempty"`
+	ScaleEvents []scaleJSON    `json:"scale_events,omitempty"`
+	CompareSim  bool           `json:"compare_sim"`
 }
 
 // overloadJSON is the stable echo of the overload configuration.
@@ -56,6 +61,27 @@ type overloadJSON struct {
 	SaturatedAt        float64 `json:"saturated_at"`
 	CriticalAt         float64 `json:"critical_at"`
 	MinHoldMS          int64   `json:"min_hold_ms"`
+}
+
+// autoscaleJSON is the stable echo of the effective (defaulted)
+// elastic-pool configuration.
+type autoscaleJSON struct {
+	Max         int   `json:"max"`
+	Min         int   `json:"min"`
+	Initial     int   `json:"initial"`
+	UpHoldMS    int64 `json:"up_hold_ms"`
+	DownHoldMS  int64 `json:"down_hold_ms"`
+	CooldownMS  int64 `json:"cooldown_ms"`
+	WarmTop     int   `json:"warm_top"`
+	WarmRamp    int64 `json:"warm_ramp"`
+	WarmPenalty int   `json:"warm_penalty"`
+	ColdJoin    bool  `json:"cold_join,omitempty"`
+}
+
+// scaleJSON is the stable echo of one scripted pool resize.
+type scaleJSON struct {
+	Delta int   `json:"delta"`
+	AtMS  int64 `json:"at_ms"`
 }
 
 // faultJSON is the stable echo of one scheduled backend outage.
@@ -103,6 +129,28 @@ func (r *Result) Artifact() *metrics.BenchArtifact {
 			CriticalAt:         eff.CriticalAt,
 			MinHoldMS:          eff.MinHold.Milliseconds(),
 		}
+	}
+	if ac := r.Config.Autoscale; ac != nil {
+		eff := *ac
+		if eff.Max == 0 {
+			eff.Max = r.Config.Backends
+		}
+		eff = eff.WithDefaults()
+		cfg.Autoscale = &autoscaleJSON{
+			Max:         eff.Max,
+			Min:         eff.Min,
+			Initial:     eff.Initial,
+			UpHoldMS:    eff.UpHold.Milliseconds(),
+			DownHoldMS:  eff.DownHold.Milliseconds(),
+			CooldownMS:  eff.Cooldown.Milliseconds(),
+			WarmTop:     eff.WarmTop,
+			WarmRamp:    eff.WarmRamp,
+			WarmPenalty: eff.WarmPenalty,
+			ColdJoin:    eff.ColdJoin,
+		}
+	}
+	for _, e := range r.Config.ScaleEvents {
+		cfg.ScaleEvents = append(cfg.ScaleEvents, scaleJSON{Delta: e.Delta, AtMS: e.At.Milliseconds()})
 	}
 	switch r.Config.Mode {
 	case OpenLoop:
@@ -153,6 +201,12 @@ func (r *Result) WriteTable(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%-16s shed=%d prefetch_shed=%d goodput=%.1f req/s tiers=%d\n",
 				"  overload", run.Shed, run.PrefetchShed, run.GoodputRPS,
 				len(run.TierTransitions)); err != nil {
+				return err
+			}
+		}
+		if as := run.Autoscale; as != nil && (as.Joins > 0 || as.Drains > 0) {
+			if _, err := fmt.Fprintf(w, "%-16s joins=%d drains=%d rebooked=%d final_size=%d\n",
+				"  autoscale", as.Joins, as.Drains, as.SessionsRebooked, as.FinalSize); err != nil {
 				return err
 			}
 		}

@@ -103,6 +103,30 @@ type SimComparison struct {
 	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
 }
 
+// AutoscaleSummary is the elastic-pool block of a benchmark run:
+// membership churn, drain accounting and the warm-join payoff.
+type AutoscaleSummary struct {
+	// Joins and Drains count pool membership changes over the run.
+	Joins  int64 `json:"joins"`
+	Drains int64 `json:"drains"`
+	// SessionsRebooked counts sessions unpinned by completed drains and
+	// re-bound through the normal routing path.
+	SessionsRebooked int64 `json:"sessions_rebooked"`
+	// FinalSize is the pool size when the run ended.
+	FinalSize int `json:"final_size"`
+	// ScaleUpLatencyMS are the organic controller's join decision
+	// latencies — how long the tier sat at Saturated before each join —
+	// in milliseconds. Empty for scripted schedules.
+	ScaleUpLatencyMS []int64 `json:"scale_up_latency_ms,omitempty"`
+	// WarmHitRate and ColdHitRate are the joined backend's first-minute
+	// memory hit rates with and without the rank-table warm preload, on
+	// the same seed and scale schedule. WarmColdDelta is their
+	// difference (positive = warming paid off).
+	WarmHitRate   float64 `json:"warm_hit_rate,omitempty"`
+	ColdHitRate   float64 `json:"cold_hit_rate,omitempty"`
+	WarmColdDelta float64 `json:"warm_cold_delta,omitempty"`
+}
+
 // BenchRun is one measured cell of a benchmark artifact (one policy on
 // one workload).
 type BenchRun struct {
@@ -158,6 +182,8 @@ type BenchRun struct {
 	// byte-stability guarantee (the simulator's deterministic ladder is
 	// under Sim).
 	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
+	// Autoscale holds the elastic-pool outcome when the run scaled.
+	Autoscale *AutoscaleSummary `json:"autoscale,omitempty"`
 	// Backends holds per-backend request counts and hit rates in backend
 	// order.
 	Backends []BackendSample `json:"backends,omitempty"`

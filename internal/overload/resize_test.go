@@ -1,0 +1,129 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEstimatorSetBackends is the capacity-resize regression: the
+// estimator used to bake CapacityPerBackend×backends at construction,
+// so an elastic pool's joins and drains never moved the pressure
+// denominator. A resize must change Capacity and re-tier immediately.
+func TestEstimatorSetBackends(t *testing.T) {
+	clk := newClock()
+	e := NewEstimator(Config{CapacityPerBackend: 4, MinHold: time.Millisecond}, 1)
+	for i := 0; i < 4; i++ {
+		e.Begin(clk.advance(time.Millisecond))
+	}
+	if e.Tier() != Critical {
+		t.Fatalf("tier = %v, want critical at 4/4", e.Tier())
+	}
+
+	// Doubling the pool halves the pressure: 4/8 = 0.5. The resize
+	// re-tiers on the spot, stepping down one rung per MinHold like any
+	// other descent.
+	e.SetBackends(2, clk.advance(50*time.Millisecond))
+	if e.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", e.Capacity())
+	}
+	if e.Tier() != Saturated {
+		t.Fatalf("tier = %v, want saturated (one step down) after grow", e.Tier())
+	}
+	e.End(clk.advance(50*time.Millisecond), 0) // 3/8, re-tier steps again
+	if e.Tier() != Elevated {
+		t.Fatalf("tier = %v, want elevated", e.Tier())
+	}
+
+	// Shrinking re-raises pressure: 3/4 = 0.75 jumps straight back up.
+	e.SetBackends(1, clk.advance(50*time.Millisecond))
+	if e.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", e.Capacity())
+	}
+	if e.Tier() != Saturated {
+		t.Fatalf("tier = %v, want saturated after shrink", e.Tier())
+	}
+
+	// n is clamped to at least one backend.
+	e.SetBackends(0, clk.advance(time.Millisecond))
+	if e.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4 (clamped to one backend)", e.Capacity())
+	}
+}
+
+// TestEstimatorSetBackendsBeforeStart checks a resize before the first
+// Begin doesn't fabricate a transition at a bogus offset.
+func TestEstimatorSetBackendsBeforeStart(t *testing.T) {
+	e := NewEstimator(Config{CapacityPerBackend: 4}, 1)
+	e.SetBackends(3, time.Time{}.Add(time.Hour))
+	if e.Capacity() != 12 {
+		t.Fatalf("capacity = %d, want 12", e.Capacity())
+	}
+	if tr := e.Transitions(); len(tr) != 0 {
+		t.Fatalf("transitions before start = %v, want none", tr)
+	}
+}
+
+// TestGateSetLimit checks growing the admission limit promotes queued
+// waiters (their grants run outside the lock, like Leave's) and
+// shrinking strands no one.
+func TestGateSetLimit(t *testing.T) {
+	g := NewGate(1, 4)
+	if _, ok := g.Enter(true, nil); !ok {
+		t.Fatal("first request refused")
+	}
+	var granted []int
+	for i := 0; i < 3; i++ {
+		i := i
+		if w, ok := g.Enter(true, func() { granted = append(granted, i) }); !ok || w == nil {
+			t.Fatalf("request %d not queued", i)
+		}
+	}
+
+	// Growing to 3 promotes the first two waiters in FIFO order.
+	grants := g.SetLimit(3)
+	if len(grants) != 2 {
+		t.Fatalf("grow grants = %d, want 2", len(grants))
+	}
+	for _, grant := range grants {
+		grant()
+	}
+	if len(granted) != 2 || granted[0] != 0 || granted[1] != 1 {
+		t.Fatalf("granted order = %v, want [0 1]", granted)
+	}
+	if g.InFlight() != 3 || g.Queued() != 1 {
+		t.Fatalf("after grow: inflight=%d queued=%d, want 3/1", g.InFlight(), g.Queued())
+	}
+
+	// Shrinking below the in-flight count promotes no one and strands no
+	// one: in-flight requests finish normally and Leaves hand slots to
+	// the queue only once under the new limit.
+	if grants := g.SetLimit(1); len(grants) != 0 {
+		t.Fatalf("shrink grants = %d, want 0", len(grants))
+	}
+	if grant := g.Leave(); grant != nil {
+		t.Fatal("Leave above the shrunken limit handed out a slot")
+	}
+	if grant := g.Leave(); grant != nil {
+		t.Fatal("Leave at the shrunken limit handed out a slot")
+	}
+	// Now in-flight (1) == limit (1); the next Leave frees a slot for
+	// the remaining waiter.
+	if grant := g.Leave(); grant == nil {
+		t.Fatal("Leave under the shrunken limit stranded the waiter")
+	} else {
+		grant()
+	}
+	if len(granted) != 3 || granted[2] != 2 {
+		t.Fatalf("granted = %v, want final waiter promoted", granted)
+	}
+	if g.InFlight() != 1 || g.Queued() != 0 {
+		t.Fatalf("end state: inflight=%d queued=%d, want 1/0", g.InFlight(), g.Queued())
+	}
+
+	// The limit clamps to at least one.
+	g.SetLimit(0)
+	g.Leave()
+	if _, ok := g.Enter(true, nil); !ok {
+		t.Fatal("request refused at clamped limit 1")
+	}
+}
