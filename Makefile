@@ -19,14 +19,23 @@
 #                (sim-vs-live differential replay, booking churn)
 #   make race-autoscale  elastic-pool stress tests under the race
 #                detector (join/drain churn storm, scripted scale replay)
+#   make race-snapshot  decision-snapshot suite under the race detector
+#                (concurrent snapshot publishes vs Route/Done/Rebook
+#                storms, the pre/post-snapshot differential, and the
+#                blocking-Recorder regression)
 #   make bench-smoke  dispatch decision-latency microbench plus a short
 #                live-cluster loadgen run over all policies, plus the
 #                autoscale artifact (scale-up latency, warm-vs-cold join)
+#   make bench-gate  measure a fresh dispatch artifact and fail if its
+#                parallel decisions-per-second trendline regressed >15%
+#                against the committed BENCH_dispatch.baseline.json
+#   make bench-baseline  deliberately re-measure and overwrite the
+#                committed bench baseline — a reviewed act; never in CI
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale bench-smoke ci
+.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale race-snapshot bench-smoke bench-gate bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -83,6 +92,16 @@ race-autoscale:
 	$(GO) test -race -count=2 -run 'Scale|Elastic|Autoscale|Warm|Drain' \
 		./internal/dispatch/ ./internal/httpfront/ ./internal/loadgen/
 
+# The lock-free read path's correctness suite under the race detector:
+# concurrent RefreshMining snapshot publishes and pool resizes against
+# Route/Done/Rebook storms, the golden-digest differential proving the
+# snapshot path reproduces the pre-snapshot decision stream, and the
+# blocking-Recorder regression (a stalled sink must not stall routing).
+# Already part of `make race`; this target runs it alone, repeated.
+race-snapshot:
+	$(GO) test -race -count=2 -run 'Snapshot|Recorder|Fold|Updater' \
+		./internal/dispatch/ ./internal/mining/
+
 # A ~30s benchmark pass: the decision core's Route/Done microbenchmarks
 # (with the latency distribution written as BENCH_dispatch.json in the
 # shared artifact schema), then open-loop load against 2 demo backends
@@ -98,4 +117,24 @@ bench-smoke:
 	BENCH_AUTOSCALE_OUT=$(CURDIR)/BENCH_autoscale.json $(GO) test \
 		-run TestAutoscaleBenchArtifact ./internal/cluster/
 
-ci: build vet lint race race-failover race-overload race-dispatch race-autoscale
+# The dispatch throughput gate: measure a fresh artifact (same writer
+# bench-smoke uses) and compare its route-done-parallel throughput_rps
+# against the committed baseline. A zero trendline — the truncated-
+# artifact bug this gate exists for — or a >15% regression fails the
+# build; improvements pass and the baseline only moves via
+# `make bench-baseline`.
+bench-gate:
+	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.json $(GO) test \
+		-run TestDispatchBenchArtifact ./internal/dispatch/
+	$(GO) run ./cmd/prord-benchgate -fresh BENCH_dispatch.json \
+		-baseline BENCH_dispatch.baseline.json -tolerance 15
+
+# Re-measuring the baseline resets the regression reference point: do it
+# only deliberately (after an accepted perf change or a hardware move)
+# and commit the diff so review shows the trendline jump. CI never runs
+# this.
+bench-baseline:
+	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.baseline.json $(GO) test \
+		-run TestDispatchBenchArtifact ./internal/dispatch/
+
+ci: build vet lint race race-failover race-overload race-dispatch race-autoscale race-snapshot bench-gate

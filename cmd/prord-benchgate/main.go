@@ -1,0 +1,89 @@
+// Command prord-benchgate compares a freshly measured dispatch
+// benchmark artifact against the committed baseline and fails on a
+// throughput regression: the decisions-per-second trendline the
+// lock-free read path is accountable for. CI runs it after bench-smoke
+// regenerates BENCH_dispatch.json; the baseline moves only through a
+// deliberate `make bench-baseline`.
+//
+// Usage:
+//
+//	prord-benchgate -fresh BENCH_dispatch.json -baseline BENCH_dispatch.baseline.json
+//
+// The gate reads the named run's throughput_rps from both artifacts
+// (v1 artifacts are upgraded on read) and exits non-zero when the
+// fresh figure is zero — the truncated-trendline bug this gate
+// guards against — or more than -tolerance percent below baseline.
+// Improvements never fail; print-only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prord/internal/metrics"
+)
+
+func main() {
+	fresh := flag.String("fresh", "BENCH_dispatch.json", "freshly measured artifact")
+	baseline := flag.String("baseline", "BENCH_dispatch.baseline.json", "committed baseline artifact")
+	run := flag.String("run", "route-done-parallel", "run name to compare")
+	tolerance := flag.Float64("tolerance", 15, "allowed regression, percent")
+	flag.Parse()
+
+	if *tolerance < 0 || *tolerance >= 100 {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: -tolerance must be in [0,100), got %v\n", *tolerance)
+		os.Exit(2)
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "prord-benchgate: -run must name a benchmark run")
+		os.Exit(2)
+	}
+
+	freshRPS, err := throughput(*fresh, *run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	baseRPS, err := throughput(*baseline, *run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	if freshRPS <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: FAIL %s: fresh throughput_rps is %v — the artifact trendline is broken\n", *run, freshRPS)
+		os.Exit(1)
+	}
+	if baseRPS <= 0 {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: FAIL %s: baseline throughput_rps is %v — regenerate the baseline with `make bench-baseline`\n", *run, baseRPS)
+		os.Exit(1)
+	}
+	deltaPct := 100 * (freshRPS - baseRPS) / baseRPS
+	if deltaPct < -*tolerance {
+		fmt.Fprintf(os.Stderr, "prord-benchgate: FAIL %s: %.0f decisions/s vs baseline %.0f (%.1f%%, tolerance -%.0f%%)\n",
+			*run, freshRPS, baseRPS, deltaPct, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("prord-benchgate: OK %s: %.0f decisions/s vs baseline %.0f (%+.1f%%, tolerance -%.0f%%)\n",
+		*run, freshRPS, baseRPS, deltaPct, *tolerance)
+}
+
+// throughput reads one run's throughput_rps from an artifact file.
+func throughput(path, run string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	art, err := metrics.DecodeBenchArtifact(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range art.Runs {
+		if art.Runs[i].Name == run {
+			return art.Runs[i].ThroughputRPS, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no run named %q (have %d runs)", path, run, len(art.Runs))
+}

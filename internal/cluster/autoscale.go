@@ -96,15 +96,13 @@ func (c *Cluster) finishJoin(server int) {
 
 // warmRanker returns the popularity rank table warm joins preload from:
 // the replication manager's live-updated ranker when Algorithm 3 runs,
-// else the miner's offline one.
+// else the core's current snapshot ranker (the offline mine plus any
+// incrementally folded popularity).
 func (c *Cluster) warmRanker() *mining.Ranker {
 	if c.replmgr != nil {
 		return c.replmgr.Ranker()
 	}
-	if c.cfg.Miner != nil {
-		return c.cfg.Miner.Ranker
-	}
-	return nil
+	return c.core.Ranker()
 }
 
 // reapDrains removes Draining backends whose bookings hit zero: the

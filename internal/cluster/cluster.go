@@ -28,6 +28,12 @@ type Config struct {
 	// Miner supplies the web-log mining products. Required when any
 	// feature is enabled.
 	Miner *mining.Miner
+	// MiningRefreshEvery batches the core's online mining: navigation
+	// observations buffer and fold into a fresh decision snapshot once
+	// this many accumulate. 0 trains the navigation model in place per
+	// observation (the historical behavior; with batch size 1 the two
+	// modes make identical decisions). Negative is rejected.
+	MiningRefreshEvery int
 	// ReplicationInterval is Algorithm 3's period t. Zero defaults to 5s
 	// of simulated time.
 	ReplicationInterval time.Duration
@@ -277,7 +283,8 @@ func New(cfg Config) (*Cluster, error) {
 		Exact: true,
 		// Replayed sessions are closed explicitly when their script ends;
 		// the idle-eviction valve must never fire mid-trace.
-		MaxSessions: 1 << 30,
+		MaxSessions:        1 << 30,
+		MiningRefreshEvery: cfg.MiningRefreshEvery,
 		// Single-threaded replay needs no lock striping, and one stripe
 		// keeps connection ids dense.
 		Shards: 1,

@@ -7,15 +7,18 @@ package dispatch_test
 // overload layer attached.
 //
 // BenchmarkDispatch is single-goroutine decision latency.
-// BenchmarkDispatchParallel drives the same mix from all cores: Route
-// still serializes policy selection on one mutex, but session booking,
-// locality updates and completion accounting run on striped shard
-// locks, so the pair is expected to scale well past 1/(single-thread
-// throughput).
+// BenchmarkDispatchParallel drives the same mix from all cores: the
+// routing read path takes no global lock — policy inputs come from an
+// atomic snapshot load, policy state is striped, and booking runs on
+// striped shard locks — so decisions per second scale with
+// GOMAXPROCS, and the steady-state pair allocates nothing (asserted
+// by TestRouteDoneAllocs).
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -117,6 +120,7 @@ func TestDispatchBenchArtifact(t *testing.T) {
 	now := time.Unix(0, 0)
 	const samples = 200000
 	var hist metrics.Histogram
+	seqStart := time.Now()
 	for i := 0; i < samples; i++ {
 		key, path := keys[i%len(keys)], paths[i%len(paths)]
 		start := time.Now()
@@ -124,21 +128,69 @@ func TestDispatchBenchArtifact(t *testing.T) {
 		c.Done(key, o.Server, path, false, false)
 		hist.Observe(time.Since(start))
 	}
+	seqElapsed := time.Since(seqStart)
 	st := c.Stats()
+
+	// The parallel cell is the bench gate's decisions-per-second
+	// trendline: the same mix from GOMAXPROCS goroutines against one
+	// fresh core, throughput measured over the whole phase.
+	pc := benchArtifactCore(t)
+	workers := runtime.GOMAXPROCS(0)
+	per := samples / workers
+	durs := make([][]time.Duration, workers)
+	pkeys := benchKeys(256)
+	var wg sync.WaitGroup
+	parStart := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				key := pkeys[(g*31+i)%len(pkeys)]
+				path := paths[(g*17+i)%len(paths)]
+				start := time.Now()
+				o := pc.Route(key, path, 4096, now)
+				pc.Done(key, o.Server, path, false, false)
+				mine = append(mine, time.Since(start))
+			}
+			durs[g] = mine
+		}(g)
+	}
+	wg.Wait()
+	parElapsed := time.Since(parStart)
+	var phist metrics.Histogram
+	for _, ds := range durs {
+		for _, d := range ds {
+			phist.Observe(d)
+		}
+	}
+	pst := pc.Stats()
+
 	art := metrics.BenchArtifact{
 		Tool: "dispatch-bench",
 		Config: map[string]any{
-			"backends": 8,
-			"policy":   "PRORD",
-			"samples":  samples,
+			"backends":   8,
+			"policy":     "PRORD",
+			"samples":    samples,
+			"gomaxprocs": workers,
 		},
 		Runs: []metrics.BenchRun{{
 			Name:          "route-done",
 			Requests:      st.Requests,
+			ThroughputRPS: metrics.Round(float64(samples)/seqElapsed.Seconds(), 1),
 			Latency:       hist.Summary(),
 			DispatchPerRequest: metrics.Round(
 				float64(st.Dispatches)/float64(st.Requests), 3),
 			Handoffs: st.Handoffs,
+		}, {
+			Name:          "route-done-parallel",
+			Requests:      pst.Requests,
+			ThroughputRPS: metrics.Round(float64(workers*per)/parElapsed.Seconds(), 1),
+			Latency:       phist.Summary(),
+			DispatchPerRequest: metrics.Round(
+				float64(pst.Dispatches)/float64(pst.Requests), 3),
+			Handoffs: pst.Handoffs,
 		}},
 	}
 	art.Stamp(time.Now())
@@ -150,6 +202,20 @@ func TestDispatchBenchArtifact(t *testing.T) {
 	if err := art.Encode(f); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: p50=%dus p99=%dus over %d samples",
-		out, hist.Summary().P50US, hist.Summary().P99US, samples)
+	t.Logf("wrote %s: seq %d rps p50=%dns, parallel(%d) %d rps p50=%dns over %d samples",
+		out, int(float64(samples)/seqElapsed.Seconds()), hist.Summary().P50NS,
+		workers, int(float64(workers*per)/parElapsed.Seconds()), phist.Summary().P50NS, samples)
+}
+
+// benchArtifactCore builds the same core shape as benchCore for tests.
+func benchArtifactCore(t *testing.T) *dispatch.Core {
+	t.Helper()
+	c, err := dispatch.New(dispatch.Config{
+		Backends: 8,
+		Policy:   policy.NewPRORD(policy.Thresholds{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -1,0 +1,143 @@
+package dispatch_test
+
+// Differential test for the lock-free decision read path: one seeded
+// trace is replayed through the core and the complete decision stream —
+// every Record field, every proactive plan — is reduced to an FNV-1a
+// digest and compared against a constant captured from the
+// polMu-serialized implementation (the pre-snapshot semantics). The
+// epoch-snapshot refactor must not change a single decision: same
+// policy state evolution, same bundle classification, same navigation
+// predictions, same tier reads, same Seq numbering.
+//
+// The batched variant replays the identical trace with the incremental
+// mining updater folding every observation immediately
+// (MiningRefreshEvery: 1) and requires the same digest — proving the
+// copy-on-write fold is observation-for-observation equivalent to the
+// in-place online learning it replaces.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"prord/internal/dispatch"
+	"prord/internal/mining"
+	"prord/internal/overload"
+	"prord/internal/policy"
+	"prord/internal/trace"
+)
+
+// goldenDigests were produced by the polMu-serialized Route path (the
+// code as of the commit introducing this test) over the seeded replays
+// below. They change only when decision semantics change — which this
+// PR promises not to do.
+const (
+	goldenPlainDigest    uint64 = 0x37f86f2c042ad7d5
+	goldenOverloadDigest uint64 = 0x8e57878b7380d7df
+)
+
+// replayConfig parameterizes one digest replay.
+type replayConfig struct {
+	refreshEvery int
+	overload     *overload.Config
+}
+
+// replayDigest replays a seeded synthetic trace through a PRORD core
+// with every proactive feature enabled and digests the full decision
+// stream: admission verdicts, routing records and proactive plans.
+func replayDigest(t *testing.T, rc replayConfig) uint64 {
+	t.Helper()
+	_, full, err := trace.GeneratePreset(trace.PresetSynthetic, 800.0/30000.0, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, eval := full.Split(0.4)
+	m := mining.Mine(train, mining.Options{})
+
+	h := fnv.New64a()
+	c, err := dispatch.New(dispatch.Config{
+		Backends:           4,
+		Policy:             policy.NewPRORD(policy.Thresholds{}),
+		Fallback:           policy.NewLARD(policy.Thresholds{}),
+		Miner:              m,
+		Features:           dispatch.Features{Bundle: true, NavPrefetch: true, GroupPrefetch: true},
+		Overload:           rc.overload,
+		MiningRefreshEvery: rc.refreshEvery,
+		Recorder: func(r dispatch.Record) {
+			fmt.Fprintf(h, "R|%d|%d|%s|%d|%d|%d|%t|%t|%t|%t|%t\n",
+				r.Seq, r.Conn, r.Path, r.Tier, r.Verdict, r.Server,
+				r.Embedded, r.Dispatch, r.Handoff, r.Switched, r.Routed)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(0, 0)
+	for i := range eval.Requests {
+		r := &eval.Requests[i]
+		key := fmt.Sprintf("sess-%d", r.Session)
+		if rc.overload != nil {
+			v, _ := c.Admit(key, r.Path, now, nil)
+			if v == dispatch.Shed {
+				now = now.Add(50 * time.Millisecond)
+				continue
+			}
+		}
+		out := c.Route(key, r.Path, r.Size, now)
+		if !out.OK {
+			if rc.overload != nil {
+				c.GateLeave()
+			}
+			continue
+		}
+		if !trace.IsEmbeddedPath(r.Path) {
+			if plan, ok := c.PlanProactive(key, out.Server, r.Path, now); ok {
+				fmt.Fprintf(h, "P|%d|%v|%v|%v\n", plan.Server, plan.Bundle, plan.Nav, plan.Group)
+			}
+		}
+		c.Done(key, out.Server, r.Path, false, false)
+		if rc.overload != nil {
+			c.FinishRequest(now, 3*time.Millisecond)
+		}
+		now = now.Add(50 * time.Millisecond)
+	}
+	return h.Sum64()
+}
+
+// hairTriggerOverload lifts the ladder to Elevated on the first routed
+// request and holds it there, so tier reads and the tier-driven
+// proactive suppression are part of the digested stream.
+func hairTriggerOverload() *overload.Config {
+	return &overload.Config{
+		CapacityPerBackend: 100,
+		ElevatedAt:         0.0001,
+		SaturatedAt:        0.8,
+		CriticalAt:         0.9,
+		MinHold:            time.Hour,
+	}
+}
+
+// TestSnapshotDecisionStreamGolden pins the snapshot read path to the
+// decision stream the polMu-serialized path produced.
+func TestSnapshotDecisionStreamGolden(t *testing.T) {
+	if got := replayDigest(t, replayConfig{}); got != goldenPlainDigest {
+		t.Errorf("plain replay digest = %#x, want %#x (decision stream diverged from the polMu-path golden)", got, goldenPlainDigest)
+	}
+	if got := replayDigest(t, replayConfig{overload: hairTriggerOverload()}); got != goldenOverloadDigest {
+		t.Errorf("overload replay digest = %#x, want %#x (tiered decision stream diverged from the polMu-path golden)", got, goldenOverloadDigest)
+	}
+}
+
+// TestSnapshotBatchedMiningEquivalence replays with the incremental
+// updater at refresh-every-1: the copy-on-write fold must reproduce
+// the in-place online learning decision for decision.
+func TestSnapshotBatchedMiningEquivalence(t *testing.T) {
+	if got := replayDigest(t, replayConfig{refreshEvery: 1}); got != goldenPlainDigest {
+		t.Errorf("batched (refresh-every-1) digest = %#x, want %#x (incremental fold diverged from in-place learning)", got, goldenPlainDigest)
+	}
+	if got := replayDigest(t, replayConfig{refreshEvery: 1, overload: hairTriggerOverload()}); got != goldenOverloadDigest {
+		t.Errorf("batched overload digest = %#x, want %#x", got, goldenOverloadDigest)
+	}
+}

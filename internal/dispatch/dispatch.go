@@ -13,11 +13,18 @@
 // Every method that consults or advances a clock takes the current time
 // as an argument, so the simulator drives the core with virtual time
 // and stays bit-reproducible (the repo's nowallclock analyzer enforces
-// this). The core is goroutine-safe: hot-path state (locality maps,
-// prefetch marks, in-flight counters, session bindings) is striped into
-// per-shard locks keyed by file-path and connection hashes, so the live
-// front-end scales across cores instead of serializing every request on
-// one dispatcher mutex. Under the single-threaded simulator the same
+// this). The core is goroutine-safe and its decision read path is
+// contention-free: the read-mostly policy inputs (policies, bundle
+// index, navigation model, rank table) live in an immutable
+// decisionSnapshot published through an atomic pointer — readers
+// pointer-load it once per decision, writers copy-update-publish under
+// a narrow writer mutex (RCU) — while the mutable hot-path state
+// (locality maps, prefetch marks, in-flight counters, session
+// bindings) is striped into per-shard leaf locks keyed by file-path
+// and connection hashes. A steady-state Route+Done pair takes no
+// global lock and performs no heap allocation, so the live front-end
+// scales across cores instead of serializing every request on one
+// dispatcher mutex. Under the single-threaded simulator the same
 // locks are uncontended and the core stays deterministic.
 package dispatch
 
@@ -118,6 +125,16 @@ type Config struct {
 	// under the core's locks adds no edge to the lock hierarchy. Nil
 	// keeps the fixed-pool behavior bit-for-bit.
 	Pool *autoscale.Pool
+	// MiningRefreshEvery batches online navigation learning: instead of
+	// folding every observation into the mined model in place, the core
+	// buffers observations in an incremental updater and publishes a
+	// copy-on-write fold as a fresh decision snapshot after this many
+	// observations (and on every explicit RefreshMining call). 0 (the
+	// default) keeps the immediate in-place fold — byte-identical to
+	// the historical behavior. 1 is semantically identical to 0 but
+	// pays one fold per observation; larger values trade prediction
+	// freshness for fold amortization on hot front-ends.
+	MiningRefreshEvery int
 	// Recorder, when non-nil, receives one Record per decision the core
 	// makes, in decision order. It runs on the deciding goroutine and
 	// must be fast; it exists for differential testing and diagnostics.
@@ -278,10 +295,17 @@ type Stats struct {
 //
 // Lock hierarchy (machine-checked by prordlint's lockorder analyzer —
 // see lockHierarchy in internal/lint/lockset.go): locks nest only in
-// ascending rank, and the shard mutexes are leaves — nothing is
-// acquired, and nothing may block, while one is held.
+// ascending rank, and the leaf mutexes — the shard locks, the record
+// emitter, the policy stripes and the mining updater — admit no nested
+// acquisition and no blocking operation while held.
 //
-//	polMu (10) → trackMu (20) → ovMu (30) → sessionShard.mu / fileShard.mu (leaves)
+//	wrMu (10) → trackMu (20) → ovMu (30) → sessionShard.mu / fileShard.mu / leaves
+//
+// The routing read path takes none of the ranked locks: Route loads
+// the decision snapshot with one atomic pointer read and touches only
+// leaf locks. wrMu serializes the rare writers — snapshot publishes
+// (RefreshMining) and backend detach sweeps — against each other, not
+// against readers.
 type Core struct {
 	cfg     Config
 	nshards int
@@ -293,11 +317,13 @@ type Core struct {
 	loads      []atomic.Int64 // outstanding bookings per backend
 	perBackend []atomic.Int64 // total bookings per backend
 
-	polMu    sync.Mutex // serializes the stateful policies
-	pol      policy.Policy
-	fallback policy.Policy
+	wrMu sync.Mutex // serializes snapshot writers and detach sweeps
+	snap atomic.Pointer[decisionSnapshot]
 
-	trackMu sync.Mutex // serializes the navigation tracker
+	updater *mining.Updater // buffered observations for the next fold
+	emitter *recordEmitter  // nil without a Recorder
+
+	trackMu sync.Mutex // serializes the navigation tracker's windows
 	tracker *mining.Tracker
 
 	ovMu  sync.Mutex // serializes estimator and gate
@@ -357,10 +383,12 @@ func New(cfg Config) (*Core, error) {
 	c := &Core{
 		cfg:        cfg,
 		nshards:    cfg.Shards,
-		pol:        cfg.Policy,
-		fallback:   cfg.Fallback,
+		updater:    mining.NewUpdater(),
 		loads:      make([]atomic.Int64, cfg.Backends),
 		perBackend: make([]atomic.Int64, cfg.Backends),
+	}
+	if cfg.Recorder != nil {
+		c.emitter = newRecordEmitter(cfg.Recorder)
 	}
 	c.sessionsPerShard = cfg.MaxSessions / c.nshards
 	if c.sessionsPerShard < 1 {
@@ -389,12 +417,16 @@ func New(cfg Config) (*Core, error) {
 		// Objects are read-only and safe without a lock on the hot path.
 		cfg.Miner.Bundles.Pages()
 	}
+	snap, err := buildSnapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.snap.Store(snap)
 	if cfg.Features.NavPrefetch && cfg.Miner != nil {
-		nav := cfg.Miner.Nav
-		if nav == nil {
-			nav = cfg.Miner.Model
-		}
-		c.tracker = mining.NewTracker(nav, true)
+		// Immediate mode trains the model in place per observation; in
+		// batched mode the tracker only slides windows and learning goes
+		// through the updater's copy-on-write folds.
+		c.tracker = mining.NewTracker(snap.nav, cfg.MiningRefreshEvery == 0)
 	}
 	if cfg.Overload != nil {
 		oc := cfg.Overload.WithDefaults()

@@ -1,0 +1,73 @@
+package dispatch
+
+import "sync"
+
+// recordEmitter delivers Records to the configured Recorder in Seq
+// order without ever invoking it under a lock. Decisions finish out of
+// order under concurrency, so completed records park in a pending map
+// keyed by Seq; whichever goroutine finds the delivery frontier
+// contiguous becomes the drainer and feeds the sink record by record,
+// while everyone else enqueues and returns immediately. One drainer at
+// a time preserves order; a sink that blocks therefore stalls only
+// record *delivery* (records pile up in pending), never the routing
+// goroutines that produced them.
+type recordEmitter struct {
+	sink func(Record)
+
+	mu       sync.Mutex // leaf: guards the three fields below only
+	pending  map[int64]Record
+	next     int64 // the Seq the sink receives next
+	draining bool  // a goroutine is currently feeding the sink
+}
+
+func newRecordEmitter(sink func(Record)) *recordEmitter {
+	return &recordEmitter{sink: sink, pending: make(map[int64]Record), next: 1}
+}
+
+// emit hands one record to the emitter. The caller must hold no core
+// locks: emit may drain, and draining calls the sink.
+func (e *recordEmitter) emit(r Record) {
+	if e.enqueue(r) {
+		e.drain()
+	}
+}
+
+// enqueue parks the record and reports whether the caller must become
+// the drainer.
+func (e *recordEmitter) enqueue(r Record) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending[r.Seq] = r
+	if e.draining {
+		return false
+	}
+	e.draining = true
+	return true
+}
+
+// takeNext pops the frontier record, or clears the draining flag and
+// reports false when the frontier record has not arrived yet.
+func (e *recordEmitter) takeNext() (Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.pending[e.next]
+	if !ok {
+		e.draining = false
+		return Record{}, false
+	}
+	delete(e.pending, e.next)
+	e.next++
+	return r, true
+}
+
+// drain feeds the sink until the frontier runs dry. The sink runs with
+// no locks held.
+func (e *recordEmitter) drain() {
+	for {
+		r, ok := e.takeNext()
+		if !ok {
+			return
+		}
+		e.sink(r)
+	}
+}

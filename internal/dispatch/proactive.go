@@ -3,6 +3,7 @@ package dispatch
 import (
 	"time"
 
+	"prord/internal/mining"
 	"prord/internal/overload"
 	"prord/internal/trace"
 )
@@ -56,9 +57,7 @@ func (c *Core) PlanProactive(key string, server int, page string, now time.Time)
 		}
 	}
 	if c.cfg.Features.NavPrefetch && c.tracker != nil {
-		c.trackMu.Lock()
-		pred, predicted := c.tracker.Observe(id, page)
-		c.trackMu.Unlock()
+		pred, predicted := c.observeNav(id, page)
 		if predicted && c.cfg.Miner.ShouldPrefetch(pred) {
 			// §4.1: the backend prefetches "a specific group of data
 			// containing currently requested pages" — the predicted page
@@ -71,6 +70,32 @@ func (c *Core) PlanProactive(key string, server int, page string, now time.Time)
 		plan.Group = c.groupPrefetch(sh, st, server, page)
 	}
 	return plan, len(plan.Bundle)+len(plan.Nav)+len(plan.Group) > 0
+}
+
+// observeNav advances a connection's navigation window with the new
+// page and predicts its next page. In immediate mode
+// (MiningRefreshEvery 0) the tracker also trains the model in place,
+// exactly the historical behavior. In batched mode the window slides
+// under trackMu but learning is deferred: the observation buffers in
+// the incremental updater, a refresh fires once the batch size is
+// reached (folding the buffer into a fresh snapshot), and the
+// prediction runs against the current snapshot's immutable model —
+// with batch size 1 that sequence is train-then-predict, decision-
+// for-decision identical to immediate mode.
+func (c *Core) observeNav(id int, page string) (mining.Prediction, bool) {
+	if c.cfg.MiningRefreshEvery == 0 {
+		c.trackMu.Lock()
+		pred, predicted := c.tracker.Observe(id, page)
+		c.trackMu.Unlock()
+		return pred, predicted
+	}
+	c.trackMu.Lock()
+	prev, window := c.tracker.Advance(id, page)
+	c.trackMu.Unlock()
+	if c.updater.ObserveNav(prev, page) >= c.cfg.MiningRefreshEvery {
+		c.RefreshMining()
+	}
+	return c.snapshot().nav.Predict(window)
 }
 
 // groupPrefetch implements §4.1's category-driven prefetching: once a

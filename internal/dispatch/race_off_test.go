@@ -1,0 +1,8 @@
+//go:build !race
+
+package dispatch_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; allocation-count assertions skip under it because the
+// instrumentation allocates on paths the production build does not.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package dispatch_test
+
+const raceEnabled = true

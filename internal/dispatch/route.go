@@ -66,8 +66,8 @@ func (c *Core) AbandonWait(w *overload.Waiter, path string, now time.Time) bool 
 func (c *Core) shed(path string, tier overload.Tier) {
 	c.stats.requests.Add(1)
 	c.stats.shed.Add(1)
-	if c.cfg.Recorder != nil {
-		c.cfg.Recorder(Record{
+	if c.emitter != nil {
+		c.emitter.emit(Record{
 			Seq:     c.seq.Add(1),
 			Conn:    -1,
 			Path:    path,
@@ -117,37 +117,40 @@ func (c *Core) FinishRequest(now time.Time, latency time.Duration) {
 // backend's locality map learns the file. Every Route with OK true must
 // be paired with exactly one Done; OK false means no backend was
 // available (the request was counted and released, not booked).
+//
+// Route takes no ranked lock: the policy inputs come from one atomic
+// snapshot load, the tier from its lock-free cache, and every mutable
+// touch goes through leaf locks (session/file shards, policy stripes)
+// or atomics. The per-decision masks and policy view come from a
+// pooled scratch, so the steady-state path does not allocate.
 func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 	st, evicted := c.lookupSession(key)
 	c.closeIDs(evicted)
 	c.stats.requests.Add(1)
 
 	// Session snapshot for classification; the shard lock is released
-	// before polMu so view methods can take shard locks as leaves.
+	// before routing so view methods can take shard locks as leaves.
 	sh := c.sessionShardFor(key)
 	sh.mu.Lock()
 	lastPage := st.lastPage
 	sh.mu.Unlock()
 
-	c.polMu.Lock()
-	tier := overload.Normal
-	if c.est != nil {
-		c.ovMu.Lock()
-		tier = c.est.Tier()
-		c.ovMu.Unlock()
-	}
+	snap := c.snapshot()
+	tier := c.Tier()
 
 	// From Saturated up the ladder stops the bundle-aware dispatcher
 	// bypass: requests route as plain (non-embedded) traffic.
 	embedded := false
-	if tier < overload.Saturated && c.cfg.Features.Bundle && c.cfg.Miner != nil &&
+	if tier < overload.Saturated && c.cfg.Features.Bundle && snap.bundles != nil &&
 		lastPage != "" && trace.IsEmbeddedPath(path) {
-		if parent, ok := c.cfg.Miner.Bundles.Parent(path); ok && parent == lastPage {
+		if parent, ok := snap.bundles.Parent(path); ok && parent == lastPage {
 			embedded = true
 		}
 	}
 
-	avail, navail := c.availMask(now)
+	sc := c.getScratch()
+	avail, navail := c.availMask(sc.avail, now)
+	sc.avail = avail
 	if navail == 0 && c.cfg.WakeFallback != nil {
 		// Wake-on-demand: no backend is awake (e.g. the last active one
 		// crashed) — the adapter may bring one back.
@@ -157,7 +160,7 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		}
 	}
 	if navail == 0 {
-		c.polMu.Unlock()
+		sc.put()
 		// Undo the session reservation: the request was never booked.
 		sh.mu.Lock()
 		if st.active > 0 {
@@ -165,8 +168,8 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		}
 		sh.mu.Unlock()
 		c.stats.unroutable.Add(1)
-		if c.cfg.Recorder != nil {
-			c.cfg.Recorder(Record{
+		if c.emitter != nil {
+			c.emitter.emit(Record{
 				Seq:     c.seq.Add(1),
 				Conn:    st.id,
 				Path:    path,
@@ -180,13 +183,18 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 
 	// From Saturated up, routing degrades to the locality-only fallback:
 	// cheap, cache-friendly placement with none of PRORD's machinery.
-	pol := c.pol
-	if tier >= overload.Saturated && c.fallback != nil {
-		pol = c.fallback
+	pol := snap.pol
+	if tier >= overload.Saturated && snap.fallback != nil {
+		pol = snap.fallback
 	}
 
-	accept := c.acceptMask(avail)
-	view := &coreView{c: c, avail: avail, accept: accept}
+	accept := avail
+	if c.cfg.Pool != nil {
+		sc.accept = boolBuf(sc.accept, len(avail))
+		accept = c.fillAccept(sc.accept, avail)
+	}
+	view := &sc.view
+	view.avail, view.accept = avail, accept
 	last, haveLast := view.LastServer(st.id)
 
 	var dec policy.Decision
@@ -286,8 +294,12 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		Tier:      tier,
 		OK:        true,
 	}
-	if c.cfg.Recorder != nil {
-		c.cfg.Recorder(Record{
+	sc.put()
+	if c.emitter != nil {
+		// Emitted with no lock held: the ordered emitter preserves Seq
+		// order even when decisions finish out of order, and a slow
+		// Recorder delays delivery, not routing.
+		c.emitter.emit(Record{
 			Seq:      c.seq.Add(1),
 			Conn:     st.id,
 			Path:     path,
@@ -301,7 +313,6 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 			Routed:   true,
 		})
 	}
-	c.polMu.Unlock()
 	return out
 }
 
@@ -350,9 +361,7 @@ func (c *Core) Done(key string, server int, path string, failed, retried bool) {
 // retry in the routing state. ok is false when no alternative backend
 // exists.
 func (c *Core) Rebook(key, path string, exclude int, now time.Time) (server int, ok bool) {
-	c.polMu.Lock()
-	defer c.polMu.Unlock()
-	avail, _ := c.availMask(now)
+	avail, _ := c.availMask(nil, now)
 	pick := func(acceptOnly bool) (int, bool) {
 		best, found := -1, false
 		for i := range avail {
@@ -426,10 +435,14 @@ func (c *Core) DetachBackend(server int) (unpinned int) {
 }
 
 // detach clears a backend's locality state, prefetch marks and session
-// pins, returning the number of sessions unpinned.
+// pins, returning the number of sessions unpinned. The writer mutex
+// serializes detach sweeps against each other (and against snapshot
+// publishes) so concurrent InvalidateBackend/DetachBackend calls for
+// the same backend cannot double-count unpinned sessions; routing
+// reads proceed under the shard leaves throughout.
 func (c *Core) detach(server int) (unpinned int) {
-	c.polMu.Lock()
-	defer c.polMu.Unlock()
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
 	for i := range c.fsh {
 		f := &c.fsh[i]
 		f.mu.Lock()

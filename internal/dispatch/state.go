@@ -1,7 +1,6 @@
 package dispatch
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -44,11 +43,18 @@ type fileShard struct {
 	locality   []*cache.LRU            // optimistic mode: per backend
 }
 
-// shardOf hashes a string onto a stripe index.
+// shardOf hashes a string onto a stripe index. The FNV-1a loop is
+// inlined rather than using hash/fnv: the hasher interface costs two
+// heap allocations per call, and shardOf runs on every Route, Done and
+// Admit. Same polynomial, same constants — the stripe assignment (and
+// the session-id formula built on it) is bit-identical to fnv.New32a.
 func (c *Core) shardOf(s string) int {
-	h := fnv.New32a()
-	h.Write([]byte(s))
-	return int(h.Sum32() % uint32(c.nshards))
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(c.nshards))
 }
 
 func (c *Core) sessionShardFor(key string) *sessionShard { return &c.ssh[c.shardOf(key)] }
@@ -99,6 +105,8 @@ func (sh *sessionShard) evictIdle() (evicted []int) {
 
 // closeIDs releases the tracker's and the policies' per-connection
 // state for evicted or closed session ids. Callers hold no locks.
+// ConnClose implementations must be concurrency-safe (the policy
+// package's contract), so no core lock wraps them.
 func (c *Core) closeIDs(ids []int) {
 	if len(ids) == 0 {
 		return
@@ -110,12 +118,9 @@ func (c *Core) closeIDs(ids []int) {
 		}
 		c.trackMu.Unlock()
 	}
-	cc, closes := c.pol.(policy.ConnCloser)
-	fc, fcloses := c.fallback.(policy.ConnCloser)
-	if !closes && !fcloses {
-		return
-	}
-	c.polMu.Lock()
+	snap := c.snapshot()
+	cc, closes := snap.pol.(policy.ConnCloser)
+	fc, fcloses := snap.fallback.(policy.ConnCloser)
 	for _, id := range ids {
 		if closes {
 			cc.ConnClose(id)
@@ -124,7 +129,6 @@ func (c *Core) closeIDs(ids []int) {
 			fc.ConnClose(id)
 		}
 	}
-	c.polMu.Unlock()
 }
 
 // CloseConn drops a finished connection's session state (the simulator
@@ -158,9 +162,11 @@ func (c *Core) available(server int, now time.Time) bool {
 	return c.cfg.Available(server, now)
 }
 
-// availMask evaluates every backend's availability once per decision.
-func (c *Core) availMask(now time.Time) (mask []bool, n int) {
-	mask = make([]bool, c.cfg.Backends)
+// availMask evaluates every backend's availability once per decision,
+// filling the caller's buffer (grown if needed) to keep the routing
+// path allocation-free.
+func (c *Core) availMask(buf []bool, now time.Time) (mask []bool, n int) {
+	mask = boolBuf(buf, c.cfg.Backends)
 	for i := range mask {
 		if c.available(i, now) {
 			mask[i] = true
@@ -168,6 +174,19 @@ func (c *Core) availMask(now time.Time) (mask []bool, n int) {
 		}
 	}
 	return mask, n
+}
+
+// boolBuf returns a length-n false-filled slice backed by buf when it
+// has the capacity.
+func boolBuf(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
 }
 
 // loadOf returns the routable-load signal for an available backend.
@@ -189,15 +208,12 @@ func (c *Core) routeLoad(server int) int {
 	return l
 }
 
-// acceptMask narrows an availability mask to backends open to new
-// placements (not Draining). When nothing accepts — every present
-// backend is draining — it falls back to the availability mask so
-// traffic still routes; with no pool the two masks are one slice.
-func (c *Core) acceptMask(avail []bool) []bool {
-	if c.cfg.Pool == nil {
-		return avail
-	}
-	accept := make([]bool, len(avail))
+// fillAccept narrows an availability mask to backends open to new
+// placements (not Draining), filling accept (pre-sized to match
+// avail). When nothing accepts — every present backend is draining —
+// it falls back to the availability mask so traffic still routes.
+// Callers without a pool use the availability mask directly.
+func (c *Core) fillAccept(accept, avail []bool) []bool {
 	n := 0
 	for i := range avail {
 		if avail[i] && c.cfg.Pool.AcceptingNew(i) {
@@ -209,6 +225,34 @@ func (c *Core) acceptMask(avail []bool) []bool {
 		return avail
 	}
 	return accept
+}
+
+// scratch is the per-decision working set Route borrows from a
+// sync.Pool: the availability and accept masks, the policy view, and
+// the view's reusable server-list buffer. Pooling keeps the
+// steady-state routing path at zero heap allocations.
+type scratch struct {
+	avail  []bool
+	accept []bool
+	view   coreView
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch borrows a scratch and wires its view to the core.
+func (c *Core) getScratch() *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.view.c = c
+	return sc
+}
+
+// putScratch returns a scratch to the pool, dropping references that
+// would pin core state.
+func (sc *scratch) put() {
+	sc.view.c = nil
+	sc.view.avail = nil
+	sc.view.accept = nil
+	scratchPool.Put(sc)
 }
 
 // residentHere reports whether the core believes a backend holds file:
@@ -229,14 +273,16 @@ func (f *fileShard) residentHere(exact bool, server int, file string) bool {
 // placements (the breaker-style exclusion, applied one lifecycle state
 // earlier) while LastServer still honors a session's pin to one, and
 // Warming backends report their load inflated by the decaying ramp
-// penalty. The view is only used under polMu; shard mutexes are taken
-// as leaves — an ordering the lockorder analyzer verifies
-// interprocedurally on every lint run (polMu rank 10, shard mutexes
-// leaf ranks; see the Core doc comment).
+// penalty. The view lives in the per-decision scratch, takes shard
+// mutexes strictly as leaves (an ordering the lockorder analyzer
+// verifies interprocedurally on every lint run) and serves
+// server-set results from one reusable buffer — per the policy.View
+// contract those slices are valid only until the next view call.
 type coreView struct {
 	c      *Core
 	avail  []bool // present and healthy: bound sessions may stay
 	accept []bool // additionally open to new placements
+	buf    []int  // reusable result buffer for ServersWith/PrefetchedAt
 }
 
 func (v *coreView) NumServers() int { return v.c.cfg.Backends }
@@ -255,11 +301,15 @@ func (v *coreView) ServersWith(file string) []int {
 	if v.c.cfg.Exact {
 		return v.filter(f.memory[file])
 	}
-	var out []int
+	out := v.buf[:0]
 	for s := range v.accept {
 		if v.accept[s] && f.locality[s].Contains(file) {
 			out = append(out, s)
 		}
+	}
+	v.buf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -273,18 +323,23 @@ func (v *coreView) PrefetchedAt(file string) []int {
 
 // filter returns the available members of a server set in ascending
 // order, so policies that pick the first candidate behave the same on
-// every run instead of following map iteration order.
+// every run instead of following map iteration order. The result
+// shares the view's buffer.
 func (v *coreView) filter(set map[int]bool) []int {
 	if len(set) == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(set))
+	out := v.buf[:0]
 	for s := range set {
 		if v.accept[s] {
 			out = append(out, s)
 		}
 	}
 	sort.Ints(out)
+	v.buf = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -512,12 +567,18 @@ func (c *Core) SessionCheck() (total, busy int, problem string) {
 }
 
 // InFlightFiles returns the number of files with outstanding requests.
+// Drained entries linger in the table as empty inner maps (see
+// decFlight), so only non-empty sets count.
 func (c *Core) InFlightFiles() int {
 	n := 0
 	for i := range c.fsh {
 		f := &c.fsh[i]
 		f.mu.Lock()
-		n += len(f.inflight)
+		for _, set := range f.inflight {
+			if len(set) > 0 {
+				n++
+			}
+		}
 		f.mu.Unlock()
 	}
 	return n
@@ -581,8 +642,10 @@ func decFlight(m map[string]map[int]int, file string, server int) {
 		if set[server] <= 0 {
 			delete(set, server)
 		}
-		if len(set) == 0 {
-			delete(m, file)
-		}
+		// The drained inner map is deliberately retained: a hot file
+		// cycles between one and zero outstanding requests constantly,
+		// and re-making the map on every cycle is the routing path's
+		// only steady-state allocation. Per-path retention is bounded
+		// by the same request universe as the policies' target tables.
 	}
 }

@@ -25,8 +25,10 @@ func (d *Distributor) scaleLoop(stop <-chan struct{}, interval time.Duration) {
 
 // scaleTick is one housekeeping round: promote backends whose warm ramp
 // finished, let the organic controller take a scale decision off the
-// current tier, and reap drained backends (also done on the completion
-// path; the tick covers idle periods).
+// current tier, reap drained backends (also done on the completion
+// path; the tick covers idle periods), and fold any pending mining
+// observations into a fresh decision snapshot so a partial batch never
+// strands learning when traffic goes quiet.
 func (d *Distributor) scaleTick() {
 	now := time.Now()
 	d.pool.Settle(now)
@@ -36,6 +38,7 @@ func (d *Distributor) scaleTick() {
 		}
 	}
 	d.reapDrains()
+	d.core.RefreshMining()
 }
 
 // ScaleUp joins one backend into the elastic pool (a scripted scale
@@ -70,16 +73,19 @@ func (d *Distributor) ScaleDown() (server int, ok bool) {
 
 // finishJoin completes a join the pool just accepted: the overload
 // layer re-sizes to the grown pool and — unless the config asks for
-// cold joins — the backend warm-preloads the miner's top rank-table
-// files through the prefetch-hint path (marks registered synchronously
-// with the core, transfers async like every other hint).
+// cold joins — the backend warm-preloads the top rank-table files
+// through the prefetch-hint path (marks registered synchronously with
+// the core, transfers async like every other hint). The rank table
+// comes from the core's current decision snapshot, not the boot-time
+// miner, so incrementally folded popularity shifts steer the preload.
 func (d *Distributor) finishJoin(server int) {
 	d.core.SetPoolSize(d.pool.Size(), time.Now())
-	if d.pool.Config().ColdJoin || d.cfg.Miner == nil || d.cfg.Miner.Ranker == nil {
+	ranker := d.core.Ranker()
+	if d.pool.Config().ColdJoin || ranker == nil {
 		return
 	}
 	plan := dispatch.Plan{Server: server}
-	for _, file := range d.cfg.Miner.Ranker.Top(d.pool.Config().WarmTop) {
+	for _, file := range ranker.Top(d.pool.Config().WarmTop) {
 		if trace.IsDynamicPath(file) {
 			continue
 		}

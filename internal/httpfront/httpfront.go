@@ -63,6 +63,13 @@ type Config struct {
 	Miner *mining.Miner
 	// Prefetch enables navigation prefetch hints to backends. Needs Miner.
 	Prefetch bool
+	// MiningRefreshEvery batches online mining: navigation observations
+	// buffer in the core's incremental updater and fold into a fresh
+	// decision snapshot once this many accumulate (the scale tick also
+	// folds whatever is pending, so partial batches are not stranded).
+	// 0 trains the navigation model in place on every observation, the
+	// historical behavior. Negative is rejected.
+	MiningRefreshEvery int
 	// LocalityEntries bounds the per-backend locality map (how many
 	// recently-served files the dispatcher remembers per backend).
 	// Default 4096.
@@ -294,9 +301,10 @@ func New(cfg Config) (*Distributor, error) {
 			NavPrefetch:   cfg.Prefetch,
 			GroupPrefetch: cfg.Prefetch && cfg.Miner != nil && cfg.Miner.Categorizer != nil,
 		},
-		Exact:           false,
-		LocalityEntries: cfg.LocalityEntries,
-		MaxSessions:     cfg.MaxSessions,
+		Exact:              false,
+		LocalityEntries:    cfg.LocalityEntries,
+		MaxSessions:        cfg.MaxSessions,
+		MiningRefreshEvery: cfg.MiningRefreshEvery,
 		Available: func(server int, now time.Time) bool {
 			d.hmu.Lock()
 			defer d.hmu.Unlock()

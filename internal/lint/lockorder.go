@@ -11,8 +11,13 @@ import (
 //
 // The hierarchy (see lockHierarchy in lockset.go and DESIGN.md):
 //
-//	Core.polMu (10) → Core.trackMu (20) → Core.ovMu (30) → shard leaves
-//	sessionShard.mu (90, leaf)   fileShard.mu (91, leaf)
+//	Core.wrMu (10) → Core.trackMu (20) → Core.ovMu (30) → leaves
+//	sessionShard.mu (90)  fileShard.mu (91)  recordEmitter.mu (92)
+//	targetStripe.mu (93)  WRR.mu (94)  Pool.mu (95)  Updater.mu (96)
+//
+// wrMu is the snapshot writer mutex: the routing read path itself
+// acquires no Core-level lock (policy inputs come from an atomic
+// snapshot load), so only snapshot publishers ever hold it.
 //
 // Three ordering rules apply at every acquisition — direct, or
 // transitively through a synchronous callee:
@@ -115,7 +120,7 @@ func lockOrderViolation(held, acq lockClass) string {
 			acq.display, held.display)
 	case held.ranked && acq.ranked && acq.rank <= held.rank:
 		return fmt.Sprintf(
-			"lock order inversion: %s (rank %d) acquired while holding %s (rank %d); the documented order is polMu → trackMu → ovMu → shard leaves",
+			"lock order inversion: %s (rank %d) acquired while holding %s (rank %d); the documented order is wrMu → trackMu → ovMu → leaves",
 			acq.display, acq.rank, held.display, held.rank)
 	}
 	return ""

@@ -58,18 +58,27 @@ type rankDef struct {
 }
 
 // lockHierarchy is the dispatch core's documented lock order: the
-// policy lock first, then the tracker and overload locks, with the
+// snapshot writer mutex first (the read path takes no lock at all —
+// policy inputs come from an atomic snapshot load, so the old polMu
+// is gone), then the tracker and overload locks, with the
 // session/file shard stripes as leaves — nothing is ever acquired
 // while a shard stripe is held, and a second stripe of either shard
 // class is never taken (stripe order is not statically checkable, so
-// nesting same-class stripes is flagged outright).
+// nesting same-class stripes is flagged outright). The record
+// emitter's mutex, the striped policy target tables, the WRR rotor
+// and the incremental mining updater are leaves for the same reason:
+// each guards a few fields and calls nothing while held.
 var lockHierarchy = []rankDef{
 	{"internal/autoscale", "Controller", "mu", 5, false},
-	{"internal/dispatch", "Core", "polMu", 10, false},
+	{"internal/dispatch", "Core", "wrMu", 10, false},
 	{"internal/dispatch", "Core", "trackMu", 20, false},
 	{"internal/dispatch", "Core", "ovMu", 30, false},
 	{"internal/dispatch", "sessionShard", "mu", 90, true},
 	{"internal/dispatch", "fileShard", "mu", 91, true},
+	{"internal/dispatch", "recordEmitter", "mu", 92, true},
+	{"internal/policy", "targetStripe", "mu", 93, true},
+	{"internal/policy", "WRR", "mu", 94, true},
+	{"internal/mining", "Updater", "mu", 96, true},
 	{"internal/autoscale", "Pool", "mu", 95, true},
 }
 

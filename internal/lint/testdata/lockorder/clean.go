@@ -1,5 +1,5 @@
 // lockorder fixture: a clean hierarchy. Every acquisition follows the
-// documented order (polMu → trackMu → ovMu → shard leaves) and no
+// documented order (wrMu → trackMu → ovMu → shard leaves) and no
 // blocking operation happens under a lock; the analyzer must stay
 // silent on this file.
 package dispatch
@@ -7,7 +7,7 @@ package dispatch
 import "sync"
 
 type Core struct {
-	polMu   sync.Mutex
+	wrMu    sync.Mutex
 	trackMu sync.Mutex
 	ovMu    sync.Mutex
 	sess    sessionShard
@@ -18,11 +18,11 @@ type sessionShard struct {
 	n  int
 }
 
-// route nests in documented order: polMu, then ovMu, then a shard leaf
+// route nests in documented order: wrMu, then ovMu, then a shard leaf
 // taken and released as the innermost lock.
 func (c *Core) route() {
-	c.polMu.Lock()
-	defer c.polMu.Unlock()
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
 	c.ovMu.Lock()
 	c.ovMu.Unlock()
 	c.sess.mu.Lock()
@@ -35,15 +35,15 @@ func (c *Core) route() {
 func (c *Core) sequential() {
 	c.trackMu.Lock()
 	c.trackMu.Unlock()
-	c.polMu.Lock()
-	c.polMu.Unlock()
+	c.wrMu.Lock()
+	c.wrMu.Unlock()
 }
 
 // helperAfterRelease calls a leaf-taking helper only after releasing
 // everything, so the effect summary has nothing to flag.
 func (c *Core) helperAfterRelease() {
-	c.polMu.Lock()
-	c.polMu.Unlock()
+	c.wrMu.Lock()
+	c.wrMu.Unlock()
 	c.touchShard()
 }
 
@@ -57,10 +57,10 @@ func (c *Core) touchShard() {
 // error arm unlocks and returns, the fall-through path still holds the
 // lock and releases it at the end.
 func (c *Core) earlyUnlockBranch(bad bool) {
-	c.polMu.Lock()
+	c.wrMu.Lock()
 	if bad {
-		c.polMu.Unlock()
+		c.wrMu.Unlock()
 		return
 	}
-	c.polMu.Unlock()
+	c.wrMu.Unlock()
 }

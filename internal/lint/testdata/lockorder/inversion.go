@@ -1,13 +1,13 @@
-// lockorder fixture: shard→policy lock inversions. Type-checked under
+// lockorder fixture: shard→writer lock inversions. Type-checked under
 // the import path prord/internal/dispatch so the ranked hierarchy
-// (Core.polMu 10, Core.trackMu 20, Core.ovMu 30, sessionShard.mu leaf)
+// (Core.wrMu 10, Core.trackMu 20, Core.ovMu 30, sessionShard.mu leaf)
 // applies to these mirror types.
 package dispatch
 
 import "sync"
 
 type Core struct {
-	polMu   sync.Mutex
+	wrMu    sync.Mutex
 	trackMu sync.Mutex
 	ovMu    sync.Mutex
 }
@@ -17,25 +17,25 @@ type sessionShard struct {
 	n  int
 }
 
-// badDirect takes the policy lock while holding a shard leaf.
+// badDirect takes the writer lock while holding a shard leaf.
 func (c *Core) badDirect(sh *sessionShard) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c.polMu.Lock() // want lockorder
-	c.polMu.Unlock()
+	c.wrMu.Lock() // want lockorder
+	c.wrMu.Unlock()
 }
 
 // badIndirect reaches the same inversion through a callee: the caller
-// holds the leaf, the helper acquires polMu.
+// holds the leaf, the helper acquires wrMu.
 func (c *Core) badIndirect(sh *sessionShard) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c.reloadPolicy() // want lockorder
+	c.publishSnapshot() // want lockorder
 }
 
-func (c *Core) reloadPolicy() {
-	c.polMu.Lock()
-	defer c.polMu.Unlock()
+func (c *Core) publishSnapshot() {
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
 }
 
 // badRank inverts two ranked non-leaf classes (ovMu 30 → trackMu 20).
@@ -45,4 +45,3 @@ func (c *Core) badRank() {
 	c.trackMu.Lock() // want lockorder
 	c.trackMu.Unlock()
 }
-

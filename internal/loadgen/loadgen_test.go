@@ -301,7 +301,7 @@ func TestArtifactStableSections(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{`"schema": "prord-bench/1"`, `"tool": "prord-loadgen"`,
+	for _, want := range []string{`"schema": "prord-bench/2"`, `"tool": "prord-loadgen"`,
 		`"schedule_digest": "fnv64a:`, `"front_latency"`, `"sim"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("artifact missing %q", want)

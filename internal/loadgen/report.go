@@ -99,15 +99,15 @@ type faultJSON struct {
 // and sim blocks are always byte-identical.
 func (r *Result) Artifact() *metrics.BenchArtifact {
 	cfg := configJSON{
-		Mode:          r.Config.Mode.String(),
-		Policies:      r.Config.Policies,
-		Backends:      r.Config.Backends,
-		DurationMS:    r.Config.Duration.Milliseconds(),
-		WarmupMS:      r.Config.Warmup.Milliseconds(),
-		Seed:          r.Config.Seed,
-		Preset:        r.Config.Preset.String(),
-		Scale:         r.Config.Scale,
-		TrainFraction: r.Config.TrainFraction,
+		Mode:            r.Config.Mode.String(),
+		Policies:        r.Config.Policies,
+		Backends:        r.Config.Backends,
+		DurationMS:      r.Config.Duration.Milliseconds(),
+		WarmupMS:        r.Config.Warmup.Milliseconds(),
+		Seed:            r.Config.Seed,
+		Preset:          r.Config.Preset.String(),
+		Scale:           r.Config.Scale,
+		TrainFraction:   r.Config.TrainFraction,
 		CacheBytes:      r.Config.CacheBytes,
 		MissLatencyMS:   r.Config.MissLatency.Milliseconds(),
 		ProbeIntervalMS: r.Config.ProbeInterval.Milliseconds(),

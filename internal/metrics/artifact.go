@@ -12,13 +12,29 @@ import (
 // prord-bench and prord-loadgen (BENCH_*.json). Bump it whenever a field
 // is renamed, removed or changes meaning; adding fields is
 // backward-compatible and keeps the version.
-const BenchSchema = "prord-bench/1"
+//
+// prord-bench/2 switched the latency summaries to nanosecond
+// resolution: the dispatch core's sub-microsecond decision latencies
+// truncated to zero in the v1 microsecond fields, flattening the
+// bench trendline. The *_us fields remain as derived aliases, and
+// DecodeBenchArtifact upgrades v1 artifacts on read.
+const BenchSchema = "prord-bench/2"
+
+// benchSchemaV1 is the superseded microsecond-resolution layout.
+const benchSchemaV1 = "prord-bench/1"
 
 // LatencySummary is a latency histogram reduced to the quantities the
-// artifacts report. All durations are integer microseconds so the JSON
-// encoding is stable across platforms and runs.
+// artifacts report. All durations are integers so the JSON encoding is
+// stable across platforms and runs; nanoseconds are authoritative and
+// the microsecond fields are truncated aliases kept for v1 consumers.
 type LatencySummary struct {
 	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
 	MeanUS int64 `json:"mean_us"`
 	MinUS  int64 `json:"min_us"`
 	MaxUS  int64 `json:"max_us"`
@@ -29,15 +45,38 @@ type LatencySummary struct {
 
 // Summary reduces the histogram to its artifact form.
 func (h *Histogram) Summary() LatencySummary {
-	return LatencySummary{
+	s := LatencySummary{
 		Count:  h.Count(),
-		MeanUS: h.Mean().Microseconds(),
-		MinUS:  h.Min().Microseconds(),
-		MaxUS:  h.Max().Microseconds(),
-		P50US:  h.Quantile(0.5).Microseconds(),
-		P90US:  h.Quantile(0.9).Microseconds(),
-		P99US:  h.Quantile(0.99).Microseconds(),
+		MeanNS: h.Mean().Nanoseconds(),
+		MinNS:  h.Min().Nanoseconds(),
+		MaxNS:  h.Max().Nanoseconds(),
+		P50NS:  h.Quantile(0.5).Nanoseconds(),
+		P90NS:  h.Quantile(0.9).Nanoseconds(),
+		P99NS:  h.Quantile(0.99).Nanoseconds(),
 	}
+	s.fillUS()
+	return s
+}
+
+// fillUS derives the microsecond aliases from the nanosecond fields.
+func (s *LatencySummary) fillUS() {
+	s.MeanUS = s.MeanNS / 1000
+	s.MinUS = s.MinNS / 1000
+	s.MaxUS = s.MaxNS / 1000
+	s.P50US = s.P50NS / 1000
+	s.P90US = s.P90NS / 1000
+	s.P99US = s.P99NS / 1000
+}
+
+// upgradeV1 reconstructs the nanosecond fields of a v1 summary from
+// its microsecond values (the best available resolution).
+func (s *LatencySummary) upgradeV1() {
+	s.MeanNS = s.MeanUS * 1000
+	s.MinNS = s.MinUS * 1000
+	s.MaxNS = s.MaxUS * 1000
+	s.P50NS = s.P50US * 1000
+	s.P90NS = s.P90US * 1000
+	s.P99NS = s.P99US * 1000
 }
 
 // BackendSample is one backend's share of a benchmark run.
@@ -210,7 +249,7 @@ type BenchArtifact struct {
 	Config any `json:"config,omitempty"`
 	// Workload describes the deterministic request schedule (counts,
 	// digest) so artifacts from different machines can be compared.
-	Workload any `json:"workload,omitempty"`
+	Workload any        `json:"workload,omitempty"`
 	Runs     []BenchRun `json:"runs"`
 }
 
@@ -233,6 +272,33 @@ func (a *BenchArtifact) Encode(w io.Writer) error {
 		return fmt.Errorf("metrics: encoding bench artifact: %w", err)
 	}
 	return nil
+}
+
+// DecodeBenchArtifact reads a benchmark artifact, upgrading
+// prord-bench/1 layouts in place: the v1 microsecond latency fields
+// populate the v2 nanosecond ones (at microsecond resolution — the
+// best v1 recorded) and the schema is rewritten to the current
+// version. Unknown schemas are an error so consumers fail loudly
+// instead of misreading fields.
+func DecodeBenchArtifact(r io.Reader) (*BenchArtifact, error) {
+	var a BenchArtifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("metrics: decoding bench artifact: %w", err)
+	}
+	switch a.Schema {
+	case BenchSchema:
+	case benchSchemaV1:
+		for i := range a.Runs {
+			a.Runs[i].Latency.upgradeV1()
+			if fl := a.Runs[i].FrontLatency; fl != nil {
+				fl.upgradeV1()
+			}
+		}
+		a.Schema = BenchSchema
+	default:
+		return nil, fmt.Errorf("metrics: unknown bench artifact schema %q", a.Schema)
+	}
+	return &a, nil
 }
 
 // Round rounds x to the given number of decimal digits, normalizing the

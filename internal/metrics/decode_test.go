@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeBenchArtifactCurrent(t *testing.T) {
+	var h Histogram
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(2500 * time.Nanosecond)
+	art := BenchArtifact{
+		Tool: "dispatch-bench",
+		Runs: []BenchRun{{Name: "route-done", Requests: 2, ThroughputRPS: 123.4, Latency: h.Summary()}},
+	}
+	var buf bytes.Buffer
+	if err := art.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBenchArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", got.Schema, BenchSchema)
+	}
+	if got.Runs[0].Latency.MeanNS != art.Runs[0].Latency.MeanNS {
+		t.Errorf("mean_ns = %d, want %d", got.Runs[0].Latency.MeanNS, art.Runs[0].Latency.MeanNS)
+	}
+	if got.Runs[0].ThroughputRPS != 123.4 {
+		t.Errorf("throughput = %v, want 123.4", got.Runs[0].ThroughputRPS)
+	}
+}
+
+func TestDecodeBenchArtifactUpgradesV1(t *testing.T) {
+	v1 := `{
+  "schema": "prord-bench/1",
+  "tool": "dispatch-bench",
+  "runs": [{
+    "name": "route-done",
+    "requests": 10,
+    "errors": 0,
+    "throughput_rps": 0,
+    "latency": {"count": 10, "mean_us": 3, "min_us": 1, "max_us": 9, "p50_us": 2, "p90_us": 7, "p99_us": 9},
+    "hit_rate": 0,
+    "dispatch_per_request": 1
+  }]
+}`
+	got, err := DecodeBenchArtifact(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema {
+		t.Errorf("schema = %q, want upgraded %q", got.Schema, BenchSchema)
+	}
+	l := got.Runs[0].Latency
+	if l.MeanNS != 3000 || l.MinNS != 1000 || l.MaxNS != 9000 || l.P99NS != 9000 {
+		t.Errorf("ns fields not reconstructed from us: %+v", l)
+	}
+	if l.MeanUS != 3 {
+		t.Errorf("mean_us = %d, want 3 preserved", l.MeanUS)
+	}
+}
+
+func TestDecodeBenchArtifactRejectsUnknownSchema(t *testing.T) {
+	if _, err := DecodeBenchArtifact(strings.NewReader(`{"schema": "prord-bench/99", "runs": []}`)); err == nil {
+		t.Fatal("want error for unknown schema")
+	}
+}

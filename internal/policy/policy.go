@@ -8,9 +8,17 @@
 // decision incurs (dispatcher consultation, TCP handoff); executing the
 // decision — queueing, caching, prefetching, replication — is the cluster
 // model's job.
+// All built-in policies are safe for concurrent Route calls: WRR
+// serializes its rotor on a small mutex, and the LARD family keeps its
+// file → target assignments in a striped leaf-locked table (stripe.go).
+// A custom Policy or ConnCloser used with the dispatch core must be
+// equally concurrency-safe, since the core no longer serializes Route.
 package policy
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Request is the routing-relevant view of one incoming request.
 type Request struct {
@@ -27,7 +35,12 @@ type Request struct {
 	First bool
 }
 
-// View is the cluster state a policy may consult when routing.
+// View is the cluster state a policy may consult when routing. A View
+// is valid only for the duration of the single Route call it is passed
+// to, and any slices it returns (ServersWith, PrefetchedAt) are valid
+// only until the next call on the same View — callers reuse the
+// backing buffers between calls. Policies must not retain a View or
+// its slices past the Route call.
 type View interface {
 	// NumServers returns the number of backend servers.
 	NumServers() int
@@ -66,7 +79,9 @@ type Decision struct {
 	Handoff bool
 }
 
-// Policy routes requests to backends.
+// Policy routes requests to backends. Route must be safe for
+// concurrent calls: the dispatch core's lock-free read path invokes it
+// from many goroutines without serialization.
 type Policy interface {
 	// Name identifies the policy in tables ("WRR", "LARD", ...).
 	Name() string
@@ -74,7 +89,8 @@ type Policy interface {
 	Route(req Request, view View) Decision
 }
 
-// ConnCloser is implemented by policies that keep per-connection state.
+// ConnCloser is implemented by policies that keep per-connection
+// state. ConnClose must be safe for concurrent use alongside Route.
 type ConnCloser interface {
 	ConnClose(conn int)
 }
@@ -138,8 +154,10 @@ func anyBelow(view View, limit int) bool {
 // locality (§2: "it does not affect the performance of the system").
 type WRR struct {
 	weights []int
-	cursor  int
-	credit  int
+
+	mu     sync.Mutex // leaf: guards the rotor below, nothing else
+	cursor int
+	credit int
 }
 
 // NewWRR builds a WRR policy for n backends with equal weights.
@@ -176,12 +194,14 @@ func (p *WRR) Route(req Request, view View) Decision {
 	if s, ok := view.LastServer(req.Conn); ok {
 		return Decision{Server: s, Source: -1}
 	}
+	p.mu.Lock()
 	server := p.cursor
 	p.credit++
 	if p.credit >= p.weights[p.cursor] {
 		p.credit = 0
 		p.cursor = (p.cursor + 1) % len(p.weights)
 	}
+	p.mu.Unlock()
 	return Decision{Server: server, Source: -1, Handoff: true}
 }
 
@@ -196,29 +216,29 @@ func (p *WRR) Route(req Request, view View) Decision {
 // act on the answer mid-connection.
 type ConnLARD struct {
 	T      Thresholds
-	target map[string]int // LARD's one-server-per-target assignment
+	target *targetTable // LARD's one-server-per-target assignment
 }
 
 // NewConnLARD returns a connection-granularity LARD policy.
 func NewConnLARD(t Thresholds) *ConnLARD {
-	return &ConnLARD{T: t.orDefault(), target: make(map[string]int)}
+	return &ConnLARD{T: t.orDefault(), target: newTargetTable()}
 }
 
 // Name implements Policy.
 func (p *ConnLARD) Name() string { return "LARD-conn" }
 
 // lardTarget applies the original LARD assignment rule for a file.
-func lardTarget(assign map[string]int, path string, t Thresholds, view View) int {
-	target, ok := assign[path]
+func lardTarget(assign *targetTable, path string, t Thresholds, view View) int {
+	target, ok := assign.get(path)
 	if !ok {
 		target = LeastLoaded(view)
-		assign[path] = target
+		assign.set(path, target)
 		return target
 	}
 	if (view.Load(target) > t.High && anyBelow(view, t.Low)) ||
 		view.Load(target) > 2*t.High {
 		target = LeastLoaded(view)
-		assign[path] = target
+		assign.set(path, target)
 	}
 	return target
 }
@@ -245,12 +265,12 @@ func (p *ConnLARD) Route(req Request, view View) Decision {
 // dispatches and frequent handoffs.
 type LARD struct {
 	T      Thresholds
-	target map[string]int
+	target *targetTable
 }
 
 // NewLARD returns a per-request LARD policy.
 func NewLARD(t Thresholds) *LARD {
-	return &LARD{T: t.orDefault(), target: make(map[string]int)}
+	return &LARD{T: t.orDefault(), target: newTargetTable()}
 }
 
 // Name implements Policy.
@@ -260,14 +280,14 @@ func (p *LARD) Name() string { return "LARD" }
 // with LARD's overload escape, or falls back to the LARD assignment rule
 // when no backend has the file cached. Shared by LARD and PRORD's
 // dispatcher step.
-func localityTarget(assign map[string]int, req Request, t Thresholds, view View) int {
+func localityTarget(assign *targetTable, req Request, t Thresholds, view View) int {
 	if holders := view.ServersWith(req.Path); len(holders) > 0 {
 		target := LeastLoadedOf(view, holders)
 		if (view.Load(target) > t.High && anyBelow(view, t.Low)) ||
 			view.Load(target) > 2*t.High {
 			target = LeastLoaded(view)
 		}
-		assign[req.Path] = target
+		assign.set(req.Path, target)
 		return target
 	}
 	return lardTarget(assign, req.Path, t, view)
@@ -291,32 +311,33 @@ func (p *LARD) Route(req Request, view View) Decision {
 // member of the set.
 type LARDR struct {
 	T       Thresholds
-	targets map[string][]int
+	targets *targetTable
 }
 
 // NewLARDR returns a per-request LARD/R policy.
 func NewLARDR(t Thresholds) *LARDR {
-	return &LARDR{T: t.orDefault(), targets: make(map[string][]int)}
+	return &LARDR{T: t.orDefault(), targets: newTargetSetTable()}
 }
 
 // Name implements Policy.
 func (p *LARDR) Name() string { return "LARD/R" }
 
-// Route implements Policy.
+// Route implements Policy. Replica sets are copy-on-append, so the
+// set read here stays immutable while the view consults it.
 func (p *LARDR) Route(req Request, view View) Decision {
-	set := p.targets[req.Path]
+	set := p.targets.getSet(req.Path)
 	var target int
 	switch {
 	case len(set) == 0:
 		target = LeastLoaded(view)
-		p.targets[req.Path] = []int{target}
+		p.targets.initSet(req.Path, target)
 	default:
 		target = LeastLoadedOf(view, set)
 		if (view.Load(target) > p.T.High && anyBelow(view, p.T.Low)) ||
 			view.Load(target) > 2*p.T.High {
 			ll := LeastLoaded(view)
 			if !containsInt(set, ll) {
-				p.targets[req.Path] = append(set, ll)
+				p.targets.addToSet(req.Path, set, ll)
 			}
 			target = ll
 		}
@@ -338,12 +359,12 @@ func (p *LARDR) Route(req Request, view View) Decision {
 // network instead of moving the connection.
 type ExtLARD struct {
 	T      Thresholds
-	target map[string]int
+	target *targetTable
 }
 
 // NewExtLARD returns an Ext-LARD-PHTTP (back-end forwarding) policy.
 func NewExtLARD(t Thresholds) *ExtLARD {
-	return &ExtLARD{T: t.orDefault(), target: make(map[string]int)}
+	return &ExtLARD{T: t.orDefault(), target: newTargetTable()}
 }
 
 // Name implements Policy.
@@ -386,12 +407,12 @@ func containsInt(xs []int, v int) bool {
 //     falling back to the least-loaded backend overall.
 type PRORD struct {
 	T      Thresholds
-	target map[string]int
+	target *targetTable
 }
 
 // NewPRORD returns the PRORD routing policy.
 func NewPRORD(t Thresholds) *PRORD {
-	return &PRORD{T: t.orDefault(), target: make(map[string]int)}
+	return &PRORD{T: t.orDefault(), target: newTargetTable()}
 }
 
 // Name implements Policy.

@@ -1,0 +1,112 @@
+package policy
+
+import "sync"
+
+// The LARD-family policies keep one piece of mutable state: the
+// file → target-server assignment map. Under the dispatch core's
+// lock-free read path, Route may be called from many goroutines at
+// once, so the map is striped: 16 independently locked shards selected
+// by an inline FNV-1a hash of the path. Stripe mutexes are leaves —
+// Route acquires exactly one, holds it only for the map operation, and
+// never blocks or takes another lock while holding it.
+//
+// Striping changes no decisions: each get/set is atomic per stripe and
+// single-threaded replays see exactly the historical map semantics.
+// Under concurrency, two racing Routes for the same cold file may both
+// compute a target and the later set wins — the same last-writer-wins
+// outcome the serialized path produced for back-to-back requests.
+
+const targetStripes = 16 // power of two, so stripe() can mask
+
+// targetStripe is one leaf-locked shard. The scalar-target policies
+// (LARD, ConnLARD, ExtLARD, PRORD) use m; LARD/R uses sets. One struct
+// serves both so the lock hierarchy has a single policy stripe class.
+type targetStripe struct {
+	mu   sync.Mutex
+	m    map[string]int
+	sets map[string][]int
+}
+
+// targetTable is the striped file → target assignment table.
+type targetTable struct {
+	stripes [targetStripes]targetStripe
+}
+
+// newTargetTable returns a table for scalar targets.
+func newTargetTable() *targetTable {
+	t := &targetTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[string]int)
+	}
+	return t
+}
+
+// newTargetSetTable returns a table for replicated target sets.
+func newTargetSetTable() *targetTable {
+	t := &targetTable{}
+	for i := range t.stripes {
+		t.stripes[i].sets = make(map[string][]int)
+	}
+	return t
+}
+
+func (t *targetTable) stripe(path string) *targetStripe {
+	// Inline FNV-1a (32-bit): no hasher allocation on the Route path.
+	h := uint32(2166136261)
+	for i := 0; i < len(path); i++ {
+		h ^= uint32(path[i])
+		h *= 16777619
+	}
+	return &t.stripes[h&(targetStripes-1)]
+}
+
+func (t *targetTable) get(path string) (int, bool) {
+	s := t.stripe(path)
+	s.mu.Lock()
+	v, ok := s.m[path]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (t *targetTable) set(path string, server int) {
+	s := t.stripe(path)
+	s.mu.Lock()
+	s.m[path] = server
+	s.mu.Unlock()
+}
+
+// getSet returns the published replica set for path. Sets are
+// copy-on-append: once published a slice is never mutated, so the
+// caller may read it after the stripe unlocks.
+func (t *targetTable) getSet(path string) []int {
+	s := t.stripe(path)
+	s.mu.Lock()
+	v := s.sets[path]
+	s.mu.Unlock()
+	return v
+}
+
+// initSet publishes the initial single-member set for path unless a
+// concurrent writer beat this one to it.
+func (t *targetTable) initSet(path string, server int) {
+	s := t.stripe(path)
+	s.mu.Lock()
+	if len(s.sets[path]) == 0 {
+		s.sets[path] = []int{server}
+	}
+	s.mu.Unlock()
+}
+
+// addToSet publishes set+{server} for path (copy-on-append) unless a
+// concurrent writer already added it.
+func (t *targetTable) addToSet(path string, set []int, server int) {
+	s := t.stripe(path)
+	s.mu.Lock()
+	cur := s.sets[path]
+	if len(cur) == len(set) && !containsInt(cur, server) {
+		ns := make([]int, len(cur), len(cur)+1)
+		copy(ns, cur)
+		s.sets[path] = append(ns, server)
+	}
+	s.mu.Unlock()
+}
