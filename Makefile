@@ -23,9 +23,14 @@
 #                (concurrent snapshot publishes vs Route/Done/Rebook
 #                storms, the pre/post-snapshot differential, and the
 #                blocking-Recorder regression)
+#   make race-grayfault  gray-failure resilience suite under the race
+#                detector (slow-backend ejection, hedge races and
+#                cancellation leaks, degraded-transition churn)
 #   make bench-smoke  dispatch decision-latency microbench plus a short
 #                live-cluster loadgen run over all policies, plus the
 #                autoscale artifact (scale-up latency, warm-vs-cold join)
+#                and the gray-fault artifact (p99 with the resilience
+#                layer off vs on under a slow=x10 backend)
 #   make bench-gate  measure a fresh dispatch artifact and fail if its
 #                parallel decisions-per-second trendline regressed >15%
 #                against the committed BENCH_dispatch.baseline.json
@@ -35,7 +40,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale race-snapshot bench-smoke bench-gate bench-baseline ci
+.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault bench-smoke bench-gate bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -102,6 +107,16 @@ race-snapshot:
 	$(GO) test -race -count=2 -run 'Snapshot|Recorder|Fold|Updater' \
 		./internal/dispatch/ ./internal/mining/
 
+# The gray-failure resilience suite under the race detector: the
+# latency-outlier detector's transitions, the live hedge race in both
+# finishing orders (leak checks), the degraded-vs-Route/Done/Rebook
+# churn storm in the decision core, and the deterministic sim replay.
+# Already part of `make race`; this target runs it alone, repeated.
+race-grayfault:
+	$(GO) test -race -count=2 ./internal/health/
+	$(GO) test -race -count=2 -run 'Gray|Hedge|Degraded|Slow|Deadline' \
+		./internal/dispatch/ ./internal/httpfront/ ./internal/cluster/ ./internal/loadgen/
+
 # A ~30s benchmark pass: the decision core's Route/Done microbenchmarks
 # (with the latency distribution written as BENCH_dispatch.json in the
 # shared artifact schema), then open-loop load against 2 demo backends
@@ -116,6 +131,8 @@ bench-smoke:
 		-scale 0.1 -out BENCH_loadgen.json
 	BENCH_AUTOSCALE_OUT=$(CURDIR)/BENCH_autoscale.json $(GO) test \
 		-run TestAutoscaleBenchArtifact ./internal/cluster/
+	BENCH_GRAYFAULT_OUT=$(CURDIR)/BENCH_grayfault.json $(GO) test \
+		-run TestGrayFaultBenchArtifact ./internal/cluster/
 
 # The dispatch throughput gate: measure a fresh artifact (same writer
 # bench-smoke uses) and compare its route-done-parallel throughput_rps
@@ -137,4 +154,4 @@ bench-baseline:
 	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.baseline.json $(GO) test \
 		-run TestDispatchBenchArtifact ./internal/dispatch/
 
-ci: build vet lint race race-failover race-overload race-dispatch race-autoscale race-snapshot bench-gate
+ci: build vet lint race race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault bench-gate

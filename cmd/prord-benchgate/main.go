@@ -40,16 +40,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	freshRPS, err := throughput(*fresh, *run)
+	freshRun, err := loadRun(*fresh, *run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prord-benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	baseRPS, err := throughput(*baseline, *run)
+	baseRun, err := loadRun(*baseline, *run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prord-benchgate: %v\n", err)
 		os.Exit(2)
 	}
+	freshRPS, baseRPS := freshRun.ThroughputRPS, baseRun.ThroughputRPS
 
 	if freshRPS <= 0 {
 		fmt.Fprintf(os.Stderr, "prord-benchgate: FAIL %s: fresh throughput_rps is %v — the artifact trendline is broken\n", *run, freshRPS)
@@ -67,23 +68,37 @@ func main() {
 	}
 	fmt.Printf("prord-benchgate: OK %s: %.0f decisions/s vs baseline %.0f (%+.1f%%, tolerance -%.0f%%)\n",
 		*run, freshRPS, baseRPS, deltaPct, *tolerance)
+	// Tail latency is informational only: p999 is far too noisy on
+	// shared CI machines to gate on, but its trendline is worth having
+	// in the job log next to the gated throughput figure.
+	fmt.Printf("prord-benchgate: info %s: p999 %s vs baseline %s (not gated)\n",
+		*run, fmtP999(freshRun), fmtP999(baseRun))
 }
 
-// throughput reads one run's throughput_rps from an artifact file.
-func throughput(path, run string) (float64, error) {
+// fmtP999 renders a run's p999 for the informational line; v1-era
+// artifacts never recorded one, which decodes as zero.
+func fmtP999(r *metrics.BenchRun) string {
+	if r.Latency.P999NS <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%dns", r.Latency.P999NS)
+}
+
+// loadRun reads one named run from an artifact file.
+func loadRun(path, run string) (*metrics.BenchRun, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer f.Close()
 	art, err := metrics.DecodeBenchArtifact(f)
 	if err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	for i := range art.Runs {
 		if art.Runs[i].Name == run {
-			return art.Runs[i].ThroughputRPS, nil
+			return &art.Runs[i], nil
 		}
 	}
-	return 0, fmt.Errorf("%s: no run named %q (have %d runs)", path, run, len(art.Runs))
+	return nil, fmt.Errorf("%s: no run named %q (have %d runs)", path, run, len(art.Runs))
 }

@@ -12,6 +12,7 @@
 //	prord-loadgen -mode closed -policy WRR,LARD,PRORD -sessions 300 -concurrency 24
 //	prord-loadgen -mode open -rate 200 -sim=false -out /tmp/bench.json
 //	prord-loadgen -mode open -backends 3 -faults 1@10s:20s -probe-interval 250ms
+//	prord-loadgen -mode open -backends 4 -faults 1@5s/slow=x10 -gray -hedge -deadline 2s
 //	prord-loadgen -mode open -rate 100 -ramp-to 1000 -overload -overload-capacity 8
 //	prord-loadgen -mode open -backends 4 -pool-initial 2 -scale-events +1@5s,-1@20s
 //
@@ -29,6 +30,7 @@ import (
 
 	"prord/internal/autoscale"
 	"prord/internal/health"
+	"prord/internal/httpfront"
 	"prord/internal/loadgen"
 	"prord/internal/overload"
 )
@@ -55,7 +57,7 @@ func main() {
 		sim         = flag.Bool("sim", true, "run the simulator on the same workload and report deltas")
 		out         = flag.String("out", "BENCH_loadgen.json", "artifact output path (empty to skip)")
 
-		faults        = flag.String("faults", "", "fault schedule: backend@at[:recoverAt],... (e.g. 1@5s:8s,0@3s)")
+		faults        = flag.String("faults", "", "fault schedule: backend@at[:recoverAt][/mode],... — modes: omitted (fail-stop), slow=xN (gray slowdown), errrate=P (gray error rate), flap=D (periodic down/up); e.g. 1@5s:8s,0@3s/slow=x10,2@4s/errrate=0.3,3@2s/flap=500ms")
 		probeInterval = flag.Duration("probe-interval", 0, "front-end active health-probe interval (0 disables)")
 		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: front-end default)")
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: front-end default)")
@@ -65,6 +67,13 @@ func main() {
 		poolInitial = flag.Int("pool-initial", 0, "enable the elastic backend pool starting at this many of the -backends servers (0 disables)")
 		poolMin     = flag.Int("pool-min", 0, "elastic pool floor the schedule cannot drain below (0: default 1)")
 		coldJoin    = flag.Bool("cold-join", false, "elastic pool: skip the rank-table warm preload on joins (the bench control arm)")
+
+		grayOn     = flag.Bool("gray", false, "enable the gray-failure resilience layer: latency-outlier detector with slow-backend ejection and progressive session rebinding; -hedge and -deadline build on it")
+		hedge      = flag.Bool("hedge", false, "with -gray: hedge idempotent static requests after the pooled-p95 delay, first committed response wins")
+		hedgeCap   = flag.Int("hedge-cap", 0, "with -hedge: max outstanding hedged requests per backend (0: default 2)")
+		deadline   = flag.Duration("deadline", 0, "with -gray: per-request deadline budget at Normal tier; halves at Saturated, quarters at Critical (0 disables)")
+		grayMult   = flag.Float64("gray-multiplier", 0, "with -gray: relative outlier threshold k over the pool median (0: default 3)")
+		grayHold   = flag.Duration("gray-hold", 0, "with -gray: time over threshold before ejection (0: default 2s)")
 
 		overloadOn = flag.Bool("overload", false, "enable front-end overload control (degrade ladder + admission); the sim comparison runs the same core ladder when -sim is set")
 		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend (0: default 64)")
@@ -114,6 +123,17 @@ func main() {
 			ColdJoin: *coldJoin,
 		}
 	}
+	var gcfg *httpfront.GrayConfig
+	if *grayOn {
+		gcfg = &httpfront.GrayConfig{
+			Detector: health.DetectorConfig{Multiplier: *grayMult, Hold: *grayHold},
+			Hedge:    *hedge,
+			HedgeCap: *hedgeCap,
+			Deadline: *deadline,
+		}
+	} else if *hedge || *hedgeCap != 0 || *deadline != 0 || *grayMult != 0 || *grayHold != 0 {
+		fail(fmt.Errorf("-hedge, -hedge-cap, -deadline, -gray-multiplier and -gray-hold require -gray"))
+	}
 	var ovcfg *overload.Config
 	if *overloadOn {
 		ovcfg = &overload.Config{
@@ -145,6 +165,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		FrontRetries:  *retries,
 		Overload:      ovcfg,
+		Gray:          gcfg,
 		Autoscale:     ascfg,
 		ScaleEvents:   scaleSched,
 		CompareSim:    *sim,

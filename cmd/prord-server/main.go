@@ -20,6 +20,15 @@
 // -overload=false. Shed responses are 503s carrying X-Prord-Shed and
 // Retry-After; the current tier is visible on /_prord/cluster.
 //
+// The gray-failure resilience layer is on by default: a relative
+// latency-outlier detector ejects backends that turn slow without
+// failing (soft exclusion plus progressive session rebinding), and
+// idempotent static requests still unanswered after the pooled-p95
+// delay are hedged to a second backend with the first committed
+// response winning. Tune with the -gray-*, -hedge* and -deadline
+// flags or disable with -gray=false; counters are visible on
+// /_prord/cluster under "gray".
+//
 // With -pool-initial the backend pool becomes elastic: the server
 // starts with that many of the -backends servers in rotation and an
 // organic controller (requires -overload) joins one — warm-preloading
@@ -64,6 +73,13 @@ func main() {
 		breakThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that trip a backend's breaker (0: default 3)")
 		breakBackoff  = flag.Duration("breaker-backoff", 0, "initial breaker open time before a half-open trial (0: default 500ms)")
 		breakMax      = flag.Duration("breaker-max-backoff", 0, "breaker backoff ceiling under repeated failed trials (0: default 30s)")
+
+		grayOn   = flag.Bool("gray", true, "enable the gray-failure resilience layer: latency-outlier detector with slow-backend ejection and progressive session rebinding")
+		hedge    = flag.Bool("hedge", true, "with -gray: hedge idempotent static requests after the pooled-p95 delay, first committed response wins (stands down at Saturated tier)")
+		hedgeCap = flag.Int("hedge-cap", 0, "with -hedge: max outstanding hedged requests per backend (0: default 2)")
+		deadline = flag.Duration("deadline", 0, "with -gray: per-request deadline budget at Normal tier; halves at Saturated, quarters at Critical (0 disables)")
+		grayMult = flag.Float64("gray-multiplier", 0, "with -gray: relative outlier threshold k over the pool median (0: default 3)")
+		grayHold = flag.Duration("gray-hold", 0, "with -gray: time over threshold before ejection (0: default 2s)")
 
 		overloadOn = flag.Bool("overload", true, "enable the overload degrade ladder and admission control")
 		capacity   = flag.Int("overload-capacity", 0, "in-flight capacity per backend before the cluster counts as saturated (0: default 64)")
@@ -158,6 +174,15 @@ func main() {
 			MinHold:            *minHold,
 		}
 	}
+	var gcfg *httpfront.GrayConfig
+	if *grayOn {
+		gcfg = &httpfront.GrayConfig{
+			Detector: health.DetectorConfig{Multiplier: *grayMult, Hold: *grayHold},
+			Hedge:    *hedge,
+			HedgeCap: *hedgeCap,
+			Deadline: *deadline,
+		}
+	}
 	var ascfg *autoscale.Config
 	if *poolInitial > 0 {
 		ascfg = &autoscale.Config{
@@ -187,6 +212,7 @@ func main() {
 		ProbeTimeout:  *probeTimeout,
 		ProbeSeed:     *seed,
 		Overload:      ovcfg,
+		Gray:          gcfg,
 		Autoscale:     ascfg,
 		ScaleInterval: *poolTick,
 	})

@@ -43,11 +43,21 @@ type Config struct {
 	// NavPrefetch is on it becomes GDSF-split fed by predicted future
 	// frequency (the [20] extension).
 	UseGDSF bool
-	// Failures injects fail-stop backend crashes. A crashed backend loses
-	// its memory, is removed from the dispatcher's maps and receives no
-	// new work; requests caught on it are retried elsewhere (counted as
-	// failovers). Recovery brings the backend back with a cold cache.
+	// Failures injects backend failures. The default mode is a fail-stop
+	// crash: the backend loses its memory, is removed from the
+	// dispatcher's maps and receives no new work; requests caught on it
+	// are retried elsewhere (counted as failovers), and recovery brings
+	// the backend back with a cold cache. The gray modes (Slow, ErrRate,
+	// Flap) leave the backend in the pool and degrade it instead — the
+	// failure surface Config.Gray's detection and hedging layer exists
+	// to absorb.
 	Failures []Failure
+	// Gray enables the gray-failure resilience layer: the relative
+	// slow-backend detector feeding the core's Degraded hook, plus
+	// optional hedged backup requests. Nil disables the layer (injected
+	// gray failures then hit the cluster with no defense, the baseline
+	// the BENCH_grayfault artifact compares against).
+	Gray *GrayConfig
 	// Power enables PARD-style [3] power management with Table 1's power
 	// parameters.
 	Power PowerParams
@@ -95,15 +105,25 @@ type ScaleEvent struct {
 	At time.Duration
 }
 
-// Failure is one injected backend crash.
+// Failure is one injected backend failure.
 type Failure struct {
-	// Server is the backend index to crash.
+	// Server is the backend index to degrade.
 	Server int
-	// At is the virtual time of the crash.
+	// At is the virtual time the failure starts.
 	At time.Duration
-	// RecoverAt, when positive and after At, restarts the backend (cold)
-	// at that time; zero means it stays down.
+	// RecoverAt, when positive and after At, ends the failure at that
+	// time; zero means it lasts for the rest of the run. Flap requires
+	// it (the toggle schedule needs a finite horizon).
 	RecoverAt time.Duration
+	// Mode is the failure kind; the zero value is FailStop.
+	Mode FailureMode
+	// Slowdown is Slow's service-time multiplier (> 1).
+	Slowdown float64
+	// ErrRate is ErrRate's per-request failure probability in (0, 1).
+	ErrRate float64
+	// FlapPeriod is Flap's half-cycle: down for one period, up for the
+	// next, starting down at At.
+	FlapPeriod time.Duration
 }
 
 // backend is one backend server: CPU, disk, internal NIC and memory.
@@ -151,6 +171,7 @@ type Cluster struct {
 	met       metrics.Collector
 	files     map[string]int64
 	power     *powerTracker // nil unless Config.Power.Enabled
+	gray      *grayState    // gray-fault injection + detection/hedging layer
 	down      []bool        // per backend: currently crashed
 	remaining int           // requests not yet completed
 	firstArr  time.Duration // earliest request issue time
@@ -226,12 +247,27 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 	c.down = make([]bool, cfg.Params.Backends)
+	c.gray = newGrayState(cfg.Params.Backends, cfg.Gray)
 	for _, f := range cfg.Failures {
 		if f.Server < 0 || f.Server >= cfg.Params.Backends {
 			return nil, fmt.Errorf("cluster: failure for invalid server %d", f.Server)
 		}
 		if f.At < 0 || (f.RecoverAt != 0 && f.RecoverAt <= f.At) {
 			return nil, fmt.Errorf("cluster: failure times invalid (%v, %v)", f.At, f.RecoverAt)
+		}
+		switch f.Mode {
+		case Slow:
+			if f.Slowdown <= 1 {
+				return nil, fmt.Errorf("cluster: slow failure needs a slowdown > 1, got x%g", f.Slowdown)
+			}
+		case ErrRate:
+			if f.ErrRate <= 0 || f.ErrRate >= 1 {
+				return nil, fmt.Errorf("cluster: errrate failure needs a rate in (0,1), got %g", f.ErrRate)
+			}
+		case Flap:
+			if f.FlapPeriod <= 0 || f.RecoverAt == 0 {
+				return nil, fmt.Errorf("cluster: flap failure needs a positive period and a recovery time")
+			}
 		}
 	}
 	if cfg.Features.Replication {
@@ -305,6 +341,12 @@ func New(cfg Config) (*Cluster, error) {
 		Recorder: cfg.Recorder,
 		Pool:     c.pool,
 	}
+	if c.gray.detector != nil {
+		// Degraded backends are soft-excluded from new placements and
+		// their sessions progressively rebound — same hook the live
+		// front-end wires.
+		dcfg.Degraded = c.gray.detector.Degraded
+	}
 	if cfg.Overload != nil {
 		// Saturated-tier routing degrades to locality-only LARD.
 		dcfg.Fallback = policy.NewLARD(policy.Thresholds{})
@@ -351,6 +393,12 @@ func (c *Cluster) wakeFallback(time.Time) (int, bool) {
 func (c *Cluster) crash(server int) {
 	c.down[server] = true
 	c.core.InvalidateBackend(server)
+	if c.gray.detector != nil {
+		// A hard crash supersedes gray detection: clear the latency
+		// window so the breaker path owns the outage and recovery starts
+		// from a fresh sample set.
+		c.gray.detector.Reset(server)
+	}
 	for file := range c.replicas {
 		delSet(c.replicas, file, server)
 	}
@@ -409,7 +457,7 @@ func (c *Cluster) Replicate(file string, server int) {
 	b := c.backends[server]
 	addSet(c.replicas, file, server)
 	c.met.Replications++
-	b.net.Schedule(perKBCost(size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
+	b.net.Schedule(c.dilate(server, perKBCost(size, c.cfg.Params.NetPerKB)), func(_, _ time.Duration) {
 		// The replica may have been dropped — or the backend crashed —
 		// while in transit.
 		if !c.replicas[file][server] || c.down[server] {

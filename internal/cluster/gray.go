@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"time"
+
+	"prord/internal/health"
+	"prord/internal/overload"
+	"prord/internal/randutil"
+	"prord/internal/trace"
+)
+
+// FailureMode selects the injected failure kind, mirroring the live
+// load generator's fault grammar one-to-one (loadgen.FaultMode). The
+// zero value is the original fail-stop crash; the other modes are gray
+// failures the breaker alone cannot see.
+type FailureMode int
+
+const (
+	// FailStop crashes the backend: memory lost, no new work, requests
+	// caught on it retried elsewhere; recovery is cold.
+	FailStop FailureMode = iota
+	// Slow multiplies every service cost at the backend (CPU, disk,
+	// internal network) by Failure.Slowdown. Nothing errors, so only
+	// latency-relative detection catches it.
+	Slow
+	// ErrRate fails a seeded fraction of demand requests arriving at
+	// the backend; the rest are served normally.
+	ErrRate
+	// Flap toggles the backend between up and a soft outage every
+	// Failure.FlapPeriod. Unlike a crash the cache survives — it
+	// models a flapping link, not a dying process.
+	Flap
+)
+
+// GrayConfig enables the gray-failure resilience layer in the
+// simulator: the relative slow-backend detector feeding the core's
+// Degraded hook, and (optionally) hedged backup requests for static
+// content — the same machinery the live front-end runs, driven by
+// virtual time so runs stay byte-deterministic.
+type GrayConfig struct {
+	// Detector tunes the latency outlier detector; zero fields take
+	// health.DetectorConfig defaults.
+	Detector health.DetectorConfig
+	// Hedge enables hedged backup requests: when a static request is
+	// still unanswered after the detector's pooled-p95 hedge delay, one
+	// backup is sent to the best non-degraded holder and the first
+	// response wins. Hedging is suppressed at Saturated and Critical
+	// tiers — duplicating work under overload makes the overload worse.
+	Hedge bool
+	// HedgeCap bounds outstanding hedges per backend; 0 defaults to 2.
+	HedgeCap int
+}
+
+// withDefaults fills zero fields.
+func (g GrayConfig) withDefaults() GrayConfig {
+	g.Detector = g.Detector.WithDefaults()
+	if g.HedgeCap == 0 {
+		g.HedgeCap = 2
+	}
+	return g
+}
+
+// GrayResult summarizes the gray-failure layer after a run (nil in
+// Result unless Config.Gray was set).
+type GrayResult struct {
+	// Ejections and Recoveries count detector state transitions.
+	Ejections, Recoveries int64
+	// GrayRebinds counts sessions moved off a degraded backend by the
+	// progressive rebinding path.
+	GrayRebinds int64
+	// HedgesFired, HedgeWins and HedgeCancels count backup requests:
+	// fired, finished first, and rendered moot by the primary.
+	HedgesFired, HedgeWins, HedgeCancels int64
+	// Backends is the detector's final per-backend view.
+	Backends []health.BackendLatency
+}
+
+// grayState is the cluster's runtime state for injected gray failures
+// and the resilience layer.
+type grayState struct {
+	detector *health.Detector
+	cfg      GrayConfig
+
+	slowX    []float64          // per backend: active service-time multiplier (0 = none)
+	errRate  []float64          // per backend: active demand error probability
+	errRng   []*randutil.Source // per backend: seeded streams for errrate rolls
+	softDown []bool             // per backend: flap outage (cache survives)
+
+	hedgeCancels int64
+}
+
+func newGrayState(backends int, cfg *GrayConfig) *grayState {
+	g := &grayState{
+		slowX:    make([]float64, backends),
+		errRate:  make([]float64, backends),
+		errRng:   make([]*randutil.Source, backends),
+		softDown: make([]bool, backends),
+	}
+	if cfg != nil {
+		g.cfg = cfg.withDefaults()
+		g.detector = health.NewDetector(backends, g.cfg.Detector)
+	}
+	return g
+}
+
+// errRoll reports whether an errrate fault fails this arrival. Streams
+// are lazily seeded per backend so fault-free backends consume no
+// randomness and fault-free runs stay byte-identical to historical
+// artifacts.
+func (c *Cluster) errRoll(server int) bool {
+	p := c.gray.errRate[server]
+	if p <= 0 {
+		return false
+	}
+	rng := c.gray.errRng[server]
+	if rng == nil {
+		rng = randutil.New(0x677261 + int64(server))
+		c.gray.errRng[server] = rng
+	}
+	return rng.Float64() < p
+}
+
+// dilate applies an active slow fault's multiplier to a service cost.
+func (c *Cluster) dilate(server int, d time.Duration) time.Duration {
+	if f := c.gray.slowX[server]; f > 1 {
+		return time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// observeServe feeds the detector one completed serve at a backend.
+func (c *Cluster) observeServe(server int, issued, end time.Duration) {
+	if c.gray.detector != nil {
+		c.gray.detector.Observe(server, end-issued, c.vnow())
+	}
+}
+
+// hedgeRace coordinates a primary serve and its hedged backup; exactly
+// one of them delivers the response (continues the session), and each
+// releases its own booking when it finishes.
+type hedgeRace struct {
+	delivered     bool // a response reached the client
+	backupOut     bool // a backup is booked and in flight
+	primaryFailed bool // the primary finished on a down backend
+	primaryServer int
+}
+
+// maybeHedge arms a hedged backup for a routed static request: after
+// the detector's hedge delay, if the primary has not delivered, send
+// one backup to the best non-degraded holder. Returns nil (no race
+// bookkeeping) when hedging is off or the request is not hedgeable.
+func (c *Cluster) maybeHedge(tr *trace.Trace, s *session, r *trace.Request, primary int, issued time.Duration) *hedgeRace {
+	g := c.gray
+	if g.detector == nil || !g.cfg.Hedge {
+		return nil
+	}
+	if r.Dynamic || trace.IsDynamicPath(r.Path) {
+		return nil // generated content is not idempotent
+	}
+	delay := g.detector.HedgeDelay()
+	if delay <= 0 {
+		return nil // not enough healthy samples yet
+	}
+	race := &hedgeRace{primaryServer: primary}
+	c.eng.After(delay, func() {
+		if race.delivered || c.remaining <= 0 {
+			return
+		}
+		if c.core.Tier() >= overload.Saturated {
+			return
+		}
+		target, ok := c.core.HedgeTarget(r.Path, primary, c.vnow())
+		if !ok || c.unavailable(target) {
+			return
+		}
+		if !c.core.TryBeginHedge(target, r.Path, g.cfg.HedgeCap) {
+			return
+		}
+		race.backupOut = true
+		c.hedgeArrive(tr, s, r, target, issued, race)
+	})
+	return race
+}
+
+// hedgeArrive models the backup serve: the same memory/disk resolution
+// as a demand arrival, minus the side channels (no remote fetch, no
+// prefetch piggyback — the hedge is a plain GET at the target).
+func (c *Cluster) hedgeArrive(tr *trace.Trace, s *session, r *trace.Request, server int, issued time.Duration, race *hedgeRace) {
+	b := c.backends[server]
+	serve := func() {
+		b.cpu.Schedule(
+			c.dilate(server, c.cfg.Params.CPUPerRequest+perKBCost(r.Size, c.cfg.Params.CPUPerKB)),
+			func(_, end time.Duration) { c.hedgeComplete(tr, s, r, server, issued, end, race) },
+		)
+	}
+	if b.store.Touch(r.Path) {
+		serve()
+		return
+	}
+	b.disk.Schedule(
+		c.dilate(server, c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB)),
+		func(_, _ time.Duration) {
+			if !c.down[server] {
+				evicted, stored := b.store.Insert(r.Path, r.Size)
+				c.noteEvictions(server, evicted)
+				if stored {
+					c.core.NoteResident(server, r.Path)
+				}
+			}
+			serve()
+		},
+	)
+}
+
+// hedgeComplete finishes a backup serve: if it beat the primary it
+// delivers the response and continues the session; otherwise it just
+// releases its booking (a canceled hedge).
+func (c *Cluster) hedgeComplete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration, race *hedgeRace) {
+	race.backupOut = false
+	failed := c.down[server] || c.gray.softDown[server]
+	if race.delivered || failed {
+		c.core.FinishHedge(server, r.Path, failed, false)
+		if !race.delivered {
+			if race.primaryFailed {
+				// Both legs failed: fall back to the ordinary retry path.
+				c.met.Failovers++
+				c.processRequest(tr, s, r, issued)
+			}
+			return
+		}
+		c.gray.hedgeCancels++
+		return
+	}
+	// The backup won the race: deliver, observe, continue the session.
+	// The primary's booking is released by its own completion event.
+	c.core.FinishHedge(server, r.Path, false, true)
+	c.observeServe(server, issued, end)
+	race.delivered = true
+	c.deliver(tr, s, r, server, issued, end)
+}
+
+// deliver records one response reaching the client and advances the
+// session — shared by the primary completion path and a winning hedge.
+func (c *Cluster) deliver(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration) {
+	b := c.backends[server]
+	b.served++
+	c.met.Completed++
+	c.met.BytesServed += r.Size
+	c.met.Response.Observe(end - issued)
+	if end > c.lastDone {
+		c.lastDone = end
+	}
+	c.remaining--
+
+	if !trace.IsEmbeddedPath(r.Path) {
+		// PRORD's proactive pass (bundle, navigation, category prefetch):
+		// the core plans and marks placements, the simulator models one
+		// batched disk read per trigger ([7]'s premise: bundles are
+		// stored together, so the objects come off in one near-sequential
+		// read).
+		if plan, ok := c.core.PlanProactive(s.key, server, r.Path, c.vnow()); ok {
+			c.prefetchBatch(plan.Server, plan.Bundle)
+			c.prefetchBatch(plan.Server, plan.Nav)
+			c.prefetchBatch(plan.Server, plan.Group)
+		}
+	}
+	c.autoscaleTick()
+	c.scheduleNext(tr, s)
+}

@@ -172,7 +172,11 @@ func (c *Cluster) sleeping(i int) bool {
 	return c.power != nil && c.power.asleep[i]
 }
 
-// unavailable reports whether a backend can accept new work.
+// unavailable reports whether a backend can accept new work. A
+// flapping backend's down half-cycles count — the outage is visible —
+// while the other gray modes (slow, errrate) deliberately do not: the
+// backend looks available, and only the detector's Degraded hook can
+// steer work away.
 func (c *Cluster) unavailable(i int) bool {
-	return c.down[i] || c.sleeping(i) || !c.poolPresent(i)
+	return c.down[i] || c.gray.softDown[i] || c.sleeping(i) || !c.poolPresent(i)
 }

@@ -55,6 +55,9 @@ type Result struct {
 	// Autoscale summarizes the elastic pool after the run (nil when
 	// Config.Autoscale is nil).
 	Autoscale *AutoscaleResult
+	// Gray summarizes the gray-failure resilience layer (nil when
+	// Config.Gray is nil).
+	Gray *GrayResult
 }
 
 // AutoscaleResult is the elastic pool's run outcome.
@@ -136,6 +139,17 @@ func (c *Cluster) result(tr *trace.Trace) *Result {
 			ar.JoinWindows = append(ar.JoinWindows, jw)
 		}
 		res.Autoscale = ar
+	}
+	if d := c.gray.detector; d != nil {
+		res.Gray = &GrayResult{
+			Ejections:    d.Ejections(),
+			Recoveries:   d.Recoveries(),
+			GrayRebinds:  cs.GrayRebinds,
+			HedgesFired:  cs.HedgesFired,
+			HedgeWins:    cs.HedgeWins,
+			HedgeCancels: c.gray.hedgeCancels,
+			Backends:     d.Snapshot(),
+		}
 	}
 	for _, b := range c.backends {
 		res.Servers = append(res.Servers, ServerStats{

@@ -64,12 +64,36 @@ func (c *Cluster) Run(tr *trace.Trace) (*Result, error) {
 			})
 		})
 	}
-	// Injected backend failures and recoveries.
+	// Injected backend failures and recoveries. Fail-stop crashes; the
+	// gray modes only change how the backend behaves while "up".
 	for _, f := range c.cfg.Failures {
 		f := f
-		c.eng.At(f.At, func() { c.crash(f.Server) })
-		if f.RecoverAt > 0 {
-			c.eng.At(f.RecoverAt, func() { c.recoverServer(f.Server) })
+		switch f.Mode {
+		case Slow:
+			c.eng.At(f.At, func() { c.gray.slowX[f.Server] = f.Slowdown })
+			if f.RecoverAt > 0 {
+				c.eng.At(f.RecoverAt, func() { c.gray.slowX[f.Server] = 0 })
+			}
+		case ErrRate:
+			c.eng.At(f.At, func() { c.gray.errRate[f.Server] = f.ErrRate })
+			if f.RecoverAt > 0 {
+				c.eng.At(f.RecoverAt, func() { c.gray.errRate[f.Server] = 0 })
+			}
+		case Flap:
+			// Down at At, toggling every period; New guarantees RecoverAt
+			// bounds the schedule, and recovery always ends up.
+			down := true
+			for t := f.At; t < f.RecoverAt; t += f.FlapPeriod {
+				d := down
+				c.eng.At(t, func() { c.gray.softDown[f.Server] = d })
+				down = !down
+			}
+			c.eng.At(f.RecoverAt, func() { c.gray.softDown[f.Server] = false })
+		default:
+			c.eng.At(f.At, func() { c.crash(f.Server) })
+			if f.RecoverAt > 0 {
+				c.eng.At(f.RecoverAt, func() { c.recoverServer(f.Server) })
+			}
 		}
 	}
 	// Scripted pool resizes (the deterministic counterpart of the
@@ -178,6 +202,9 @@ func (c *Cluster) routeRequest(tr *trace.Trace, s *session, r *trace.Request, is
 		c.scheduleNext(tr, s)
 		return
 	}
+	// Arm the hedged backup (nil when the gray layer is off or the
+	// request is not hedgeable) before the primary starts its serve.
+	race := c.maybeHedge(tr, s, r, out.Server, issued)
 	// Front-end occupancy: analysis + dispatcher consultation + handoff.
 	cost := c.cfg.Params.FrontPerRequest
 	if out.Dispatch {
@@ -192,18 +219,28 @@ func (c *Cluster) routeRequest(tr *trace.Trace, s *session, r *trace.Request, is
 	// The L4 switch pins each connection to one distributor.
 	front := c.fronts[s.id%len(c.fronts)]
 	front.Schedule(cost, func(_, _ time.Duration) {
-		c.arriveAtBackend(tr, s, r, out, issued)
+		c.arriveAtBackend(tr, s, r, out, issued, race)
 	})
 }
 
 // arriveAtBackend resolves the content (memory hit, remote memory, or
-// disk) and then serves the response through the backend CPU.
-func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request, out dispatch.Outcome, issued time.Duration) {
+// disk) and then serves the response through the backend CPU. An
+// active slow fault dilates every cost at the backend; an active
+// errrate fault may fail the request outright after a token CPU cost
+// (the backend answered 503 quickly).
+func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request, out dispatch.Outcome, issued time.Duration, race *hedgeRace) {
 	b := c.backends[out.Server]
+	if c.errRoll(out.Server) {
+		b.cpu.Schedule(
+			c.dilate(out.Server, c.cfg.Params.CPUPerRequest),
+			func(_, end time.Duration) { c.failServe(tr, s, r, out.Server, issued, end, race) },
+		)
+		return
+	}
 	serve := func() {
 		b.cpu.Schedule(
-			c.cfg.Params.CPUPerRequest+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
-			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end) },
+			c.dilate(out.Server, c.cfg.Params.CPUPerRequest+perKBCost(r.Size, c.cfg.Params.CPUPerKB)),
+			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end, race) },
 		)
 	}
 	switch {
@@ -211,8 +248,8 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		// Generated content: no cache, no disk — per-request CPU work.
 		c.met.DynamicServed++
 		b.cpu.Schedule(
-			c.cfg.Params.DynamicCPU+perKBCost(r.Size, c.cfg.Params.CPUPerKB),
-			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end) },
+			c.dilate(out.Server, c.cfg.Params.DynamicCPU+perKBCost(r.Size, c.cfg.Params.CPUPerKB)),
+			func(_, end time.Duration) { c.complete(tr, s, r, out.Server, issued, end, race) },
 		)
 		return
 	case b.store.Touch(r.Path):
@@ -229,7 +266,7 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		c.met.MemoryHits++
 		c.noteWarmServe(out.Server, true)
 		c.met.RemoteFetches++
-		b.net.Schedule(perKBCost(r.Size, c.cfg.Params.NetPerKB), func(_, _ time.Duration) {
+		b.net.Schedule(c.dilate(out.Server, perKBCost(r.Size, c.cfg.Params.NetPerKB)), func(_, _ time.Duration) {
 			serve()
 		})
 	case c.core.PrefetchedHere(out.Server, r.Path):
@@ -246,7 +283,7 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 		c.met.MemoryMisses++
 		c.noteWarmServe(out.Server, false)
 		b.disk.Schedule(
-			c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB),
+			c.dilate(out.Server, c.cfg.Params.DiskFixed+perKBCost(r.Size, c.cfg.Params.DiskPerKB)),
 			func(_, _ time.Duration) {
 				if c.down[out.Server] {
 					serve() // completion path handles the retry
@@ -263,51 +300,62 @@ func (c *Cluster) arriveAtBackend(tr *trace.Trace, s *session, r *trace.Request,
 	}
 }
 
-// complete finishes one request: metrics, proactive planning, next issue.
-func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration) {
-	// Feed the overload layer one completion (a crash-retry re-enters
-	// processRequest and is admitted again, keeping the count balanced).
-	c.core.FinishRequest(c.vnow(), end-issued)
-	if c.down[server] {
-		// The backend crashed while serving: the response never reached
-		// the client, which retries through the front-end.
-		c.core.Done(s.key, server, r.Path, true, false)
-		c.autoscaleTick()
-		if !c.anyUp() {
-			c.met.Failed++
-			c.remaining--
-			c.scheduleNext(tr, s)
-			return
-		}
-		c.met.Failovers++
-		c.processRequest(tr, s, r, issued)
+// complete finishes one primary serve: metrics, proactive planning,
+// next issue. With a hedge race open, only the first finisher delivers
+// the response; the loser just releases its booking.
+func (c *Cluster) complete(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration, race *hedgeRace) {
+	if c.down[server] || c.gray.softDown[server] {
+		// The backend crashed (or its link flapped down) while serving:
+		// the response never reached the client, which retries through
+		// the front-end.
+		c.failServe(tr, s, r, server, issued, end, race)
 		return
 	}
+	// Feed the overload layer one completion (a crash-retry re-enters
+	// processRequest and is admitted again, keeping the count balanced).
+	// The primary owns this call: a winning hedge does not repeat it.
+	c.core.FinishRequest(c.vnow(), end-issued)
 	c.core.Done(s.key, server, r.Path, false, false)
-	b := c.backends[server]
-	b.served++
-	c.met.Completed++
-	c.met.BytesServed += r.Size
-	c.met.Response.Observe(end - issued)
-	if end > c.lastDone {
-		c.lastDone = end
-	}
-	c.remaining--
-
-	if !trace.IsEmbeddedPath(r.Path) {
-		// PRORD's proactive pass (bundle, navigation, category prefetch):
-		// the core plans and marks placements, the simulator models one
-		// batched disk read per trigger ([7]'s premise: bundles are
-		// stored together, so the objects come off in one near-sequential
-		// read).
-		if plan, ok := c.core.PlanProactive(s.key, server, r.Path, c.vnow()); ok {
-			c.prefetchBatch(plan.Server, plan.Bundle)
-			c.prefetchBatch(plan.Server, plan.Nav)
-			c.prefetchBatch(plan.Server, plan.Group)
+	c.observeServe(server, issued, end)
+	if race != nil {
+		if race.delivered {
+			return // the hedge won; the session already moved on
 		}
+		race.delivered = true
 	}
+	c.deliver(tr, s, r, server, issued, end)
+}
+
+// failServe finishes a primary serve that errored (crash, flap or an
+// errrate 503): the booking is released and the client retries through
+// the front-end — unless a hedged backup is still in flight, in which
+// case the race waits for it.
+func (c *Cluster) failServe(tr *trace.Trace, s *session, r *trace.Request, server int, issued, end time.Duration, race *hedgeRace) {
+	c.core.FinishRequest(c.vnow(), end-issued)
+	c.core.Done(s.key, server, r.Path, true, false)
 	c.autoscaleTick()
-	c.scheduleNext(tr, s)
+	if race != nil {
+		if race.delivered {
+			return // the hedge already answered; nothing to retry
+		}
+		if race.backupOut {
+			race.primaryFailed = true
+			return // the in-flight backup inherits the request
+		}
+		// No backup out: the retry owns the request from here. Settle
+		// the race so a still-pending hedge timer cannot fire a backup
+		// for the abandoned attempt (which would complete the session
+		// twice).
+		race.delivered = true
+	}
+	if !c.anyUp() {
+		c.met.Failed++
+		c.remaining--
+		c.scheduleNext(tr, s)
+		return
+	}
+	c.met.Failovers++
+	c.processRequest(tr, s, r, issued)
 }
 
 func waiterKey(file string, server int) string {
@@ -330,7 +378,7 @@ func (c *Cluster) prefetchBatch(server int, files []string) {
 		bytes += sizes[i]
 	}
 	b.disk.Schedule(
-		c.cfg.Params.DiskFixed+perKBCost(bytes, c.cfg.Params.DiskPerKB),
+		c.dilate(server, c.cfg.Params.DiskFixed+perKBCost(bytes, c.cfg.Params.DiskPerKB)),
 		func(_, _ time.Duration) {
 			for i, f := range files {
 				c.finishPrefetch(server, f, sizes[i])

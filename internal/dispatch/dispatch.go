@@ -116,6 +116,19 @@ type Config struct {
 	// Overload enables the degrade ladder: estimator, tiered shedding
 	// and Critical-tier admission. Nil disables the layer.
 	Overload *overload.Config
+	// Degraded, when non-nil, reports whether a backend is gray-failing
+	// (the health detector's ejection verdict: alive, but serving
+	// latencies far above the pool). Degraded backends stay available —
+	// requests in flight finish and hard failures still go through the
+	// breaker — but they are soft-excluded from new placements via the
+	// accept mask, and a session pinned to one loses its pin on its next
+	// request, re-binding through the normal routing path (progressive
+	// rebinding rather than a mass detach). The hook is consulted on the
+	// routing hot path, sometimes under shard leaf locks: it must be
+	// lock-free and non-blocking (health.Detector.Degraded is). Nil
+	// means no backend is ever degraded — bit-identical to the
+	// pre-detector behavior.
+	Degraded func(server int) bool
 	// Pool, when non-nil, makes the backend set elastic: Backends becomes
 	// the provisioned maximum (Pool.Max must equal it) and membership is
 	// read per decision — Absent slots are invisible, Draining backends
@@ -286,6 +299,14 @@ type Stats struct {
 	Failovers int64
 	// Retries counts Rebook re-routes.
 	Retries int64
+	// GrayRebinds counts sessions that moved off a degraded backend:
+	// bindings the detector's soft exclusion progressively re-routed.
+	GrayRebinds int64
+	// HedgesFired counts hedged backup attempts booked.
+	HedgesFired int64
+	// HedgeWins counts hedged attempts that delivered the response
+	// (the primary was canceled).
+	HedgeWins int64
 	// PerBackend counts demand bookings per backend, including retries.
 	PerBackend []int64
 }
@@ -316,6 +337,7 @@ type Core struct {
 
 	loads      []atomic.Int64 // outstanding bookings per backend
 	perBackend []atomic.Int64 // total bookings per backend
+	hedges     []atomic.Int64 // outstanding hedged attempts per backend
 
 	wrMu sync.Mutex // serializes snapshot writers and detach sweeps
 	snap atomic.Pointer[decisionSnapshot]
@@ -340,6 +362,7 @@ type coreStats struct {
 	requests, dispatches, directForwards, handoffs, switches atomic.Int64
 	prefetches, prefetchShed, replicationsShed               atomic.Int64
 	shed, unroutable, errors, failovers, retries             atomic.Int64
+	grayRebinds, hedgesFired, hedgeWins                      atomic.Int64
 }
 
 // New builds a Core from cfg.
@@ -386,6 +409,7 @@ func New(cfg Config) (*Core, error) {
 		updater:    mining.NewUpdater(),
 		loads:      make([]atomic.Int64, cfg.Backends),
 		perBackend: make([]atomic.Int64, cfg.Backends),
+		hedges:     make([]atomic.Int64, cfg.Backends),
 	}
 	if cfg.Recorder != nil {
 		c.emitter = newRecordEmitter(cfg.Recorder)
@@ -557,6 +581,9 @@ func (c *Core) Stats() Stats {
 		Errors:           c.stats.errors.Load(),
 		Failovers:        c.stats.failovers.Load(),
 		Retries:          c.stats.retries.Load(),
+		GrayRebinds:      c.stats.grayRebinds.Load(),
+		HedgesFired:      c.stats.hedgesFired.Load(),
+		HedgeWins:        c.stats.hedgeWins.Load(),
 		PerBackend:       make([]int64, len(c.perBackend)),
 	}
 	for i := range c.perBackend {

@@ -189,7 +189,7 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 	}
 
 	accept := avail
-	if c.cfg.Pool != nil {
+	if c.narrowsAccept() {
 		sc.accept = boolBuf(sc.accept, len(avail))
 		accept = c.fillAccept(sc.accept, avail)
 	}
@@ -239,6 +239,7 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 	// Book the decision.
 	sh.mu.Lock()
 	hadServer := st.hasSrv
+	prevServer := st.server
 	switched := hadServer && st.server != dec.Server
 	st.server = dec.Server
 	st.hasSrv = true
@@ -246,6 +247,11 @@ func (c *Core) Route(key, path string, size int64, now time.Time) Outcome {
 		st.lastPage = path
 	}
 	sh.mu.Unlock()
+	if switched && c.degraded(prevServer) {
+		// The move was the detector's doing: the old pin is gray-failing
+		// and LastServer stopped honoring it.
+		c.stats.grayRebinds.Add(1)
+	}
 
 	if dec.Dispatch {
 		c.stats.dispatches.Add(1)
@@ -355,35 +361,15 @@ func (c *Core) Done(key string, server int, path string, failed, retried bool) {
 }
 
 // Rebook re-routes a request whose attempt on the excluded backend
-// failed: it picks the least-loaded available backend — preferring
-// backends open to new placements, falling back to Draining ones only
-// when nothing else is up — re-pins the session, and registers the
-// retry in the routing state. ok is false when no alternative backend
-// exists.
+// failed: it picks the best alternative via the shared target helper —
+// a backend the locality state says holds the file first (replication
+// placed warm copies for exactly this moment), then the least-loaded
+// backend open to new placements, falling back to Draining or degraded
+// ones only when nothing else is up — re-pins the session, and
+// registers the retry in the routing state. ok is false when no
+// alternative backend exists.
 func (c *Core) Rebook(key, path string, exclude int, now time.Time) (server int, ok bool) {
-	avail, _ := c.availMask(nil, now)
-	pick := func(acceptOnly bool) (int, bool) {
-		best, found := -1, false
-		for i := range avail {
-			if i == exclude || !avail[i] {
-				continue
-			}
-			if acceptOnly && !c.cfg.Pool.AcceptingNew(i) {
-				continue
-			}
-			if !found || c.routeLoad(i) < c.routeLoad(best) {
-				best, found = i, true
-			}
-		}
-		return best, found
-	}
-	best, found := -1, false
-	if c.cfg.Pool != nil {
-		best, found = pick(true)
-	}
-	if !found {
-		best, found = pick(false)
-	}
+	best, found := c.pickTarget(path, exclude, false, now)
 	if !found {
 		return 0, false
 	}

@@ -208,18 +208,40 @@ func (c *Core) routeLoad(server int) int {
 	return l
 }
 
+// degraded reports the gray-failure detector's verdict for a backend
+// (never degraded without a Degraded hook). Lock-free per the Config
+// contract, so it is safe under shard leaf locks.
+func (c *Core) degraded(server int) bool {
+	return c.cfg.Degraded != nil && c.cfg.Degraded(server)
+}
+
+// narrowsAccept reports whether any configured layer can make the
+// accept mask narrower than the availability mask. When false, Route
+// uses the availability mask directly — the historical behavior.
+func (c *Core) narrowsAccept() bool {
+	return c.cfg.Pool != nil || c.cfg.Degraded != nil
+}
+
 // fillAccept narrows an availability mask to backends open to new
-// placements (not Draining), filling accept (pre-sized to match
-// avail). When nothing accepts — every present backend is draining —
-// it falls back to the availability mask so traffic still routes.
-// Callers without a pool use the availability mask directly.
+// placements — not Draining, not gray-degraded — filling accept
+// (pre-sized to match avail). When nothing accepts — every present
+// backend is draining or degraded — it falls back to the availability
+// mask so traffic still routes. Callers without a pool or detector use
+// the availability mask directly.
 func (c *Core) fillAccept(accept, avail []bool) []bool {
 	n := 0
 	for i := range avail {
-		if avail[i] && c.cfg.Pool.AcceptingNew(i) {
-			accept[i] = true
-			n++
+		if !avail[i] {
+			continue
 		}
+		if c.cfg.Pool != nil && !c.cfg.Pool.AcceptingNew(i) {
+			continue
+		}
+		if c.degraded(i) {
+			continue
+		}
+		accept[i] = true
+		n++
 	}
 	if n == 0 {
 		return avail
@@ -369,6 +391,13 @@ func (v *coreView) LastServer(conn int) (int, bool) {
 	}
 	sh.mu.Unlock()
 	if !has || !v.avail[server] {
+		return 0, false
+	}
+	if v.c.degraded(server) {
+		// A pin to a gray-failing backend is not honored: the session
+		// re-binds through the normal path — this request, this session.
+		// (A Draining pin, by contrast, stays honored: the backend is
+		// healthy and its cache is warm until the drain completes.)
 		return 0, false
 	}
 	return server, true

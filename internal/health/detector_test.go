@@ -1,0 +1,235 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+// feed pushes n samples of latency lat for backend s, advancing the
+// clock by step per sample, and returns the advanced clock.
+func feed(d *Detector, s int, n int, lat time.Duration, now time.Time, step time.Duration) time.Time {
+	for i := 0; i < n; i++ {
+		now = now.Add(step)
+		d.Observe(s, lat, now)
+	}
+	return now
+}
+
+// feedPool pushes one round of samples to every backend: fast latency
+// everywhere except slowSrv which gets slow.
+func feedPool(d *Detector, backends int, slowSrv int, fast, slow time.Duration, now time.Time, step time.Duration) time.Time {
+	for s := 0; s < backends; s++ {
+		lat := fast
+		if s == slowSrv {
+			lat = slow
+		}
+		now = feed(d, s, 1, lat, now, step)
+	}
+	return now
+}
+
+func testDetector(n int) (*Detector, DetectorConfig) {
+	cfg := DetectorConfig{
+		Window:       16,
+		MinSamples:   8,
+		Multiplier:   3,
+		Hold:         time.Second,
+		Eject:        5 * time.Second,
+		MaxEject:     20 * time.Second,
+		RecoverHold:  4 * time.Second,
+		EvalInterval: 10 * time.Millisecond,
+	}
+	return NewDetector(n, cfg), cfg.WithDefaults()
+}
+
+// ejectLoop feeds slow traffic to slowSrv (fast everywhere else) until
+// it ejects, failing the test if it never does. Stops at ejection so
+// the assertion cannot race the dwell readmission.
+func ejectLoop(t *testing.T, d *Detector, backends, slowSrv int, now time.Time) time.Time {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if d.Degraded(slowSrv) {
+			return now
+		}
+		now = feedPool(d, backends, slowSrv, 2*time.Millisecond, 20*time.Millisecond, now, 20*time.Millisecond)
+	}
+	t.Fatalf("slow backend %d never ejected", slowSrv)
+	return now
+}
+
+func TestDetectorEjectsRelativeOutlier(t *testing.T) {
+	d, _ := testDetector(4)
+	now := time.Unix(0, 0)
+	// Everyone healthy: no ejection no matter how long.
+	for i := 0; i < 40; i++ {
+		now = feedPool(d, 4, -1, 2*time.Millisecond, 0, now, 20*time.Millisecond)
+	}
+	if d.DegradedCount() != 0 {
+		t.Fatalf("healthy pool ejected %d backends", d.DegradedCount())
+	}
+	// Backend 2 turns 10x slow: must eject after Hold, and only it.
+	now = ejectLoop(t, d, 4, 2, now)
+	for s := 0; s < 4; s++ {
+		if s != 2 && d.Degraded(s) {
+			t.Fatalf("healthy backend %d ejected", s)
+		}
+	}
+	if got := d.Ejections(); got != 1 {
+		t.Fatalf("Ejections = %d, want 1", got)
+	}
+}
+
+func TestDetectorHoldDelaysEjection(t *testing.T) {
+	d, cfg := testDetector(4)
+	now := time.Unix(0, 0)
+	// Fill windows healthy first.
+	for i := 0; i < 20; i++ {
+		now = feedPool(d, 4, -1, 2*time.Millisecond, 0, now, 20*time.Millisecond)
+	}
+	// Slow samples for less than Hold: no ejection yet.
+	start := now
+	for now.Sub(start) < cfg.Hold/2 {
+		now = feedPool(d, 4, 1, 2*time.Millisecond, 20*time.Millisecond, now, 20*time.Millisecond)
+	}
+	if d.Degraded(1) {
+		t.Fatal("ejected before Hold elapsed")
+	}
+	for now.Sub(start) < 2*cfg.Hold {
+		now = feedPool(d, 4, 1, 2*time.Millisecond, 20*time.Millisecond, now, 20*time.Millisecond)
+	}
+	if !d.Degraded(1) {
+		t.Fatal("not ejected after Hold elapsed")
+	}
+}
+
+func TestDetectorDwellReadmitsAndRecovers(t *testing.T) {
+	d, cfg := testDetector(4)
+	now := time.Unix(0, 0)
+	now = ejectLoop(t, d, 4, 3, now)
+	// While ejected it gets no traffic; other backends' samples drive
+	// the clock. After Eject the dwell expires and it is readmitted.
+	for i := 0; i < 200 && d.Degraded(3); i++ {
+		now = feedPool(d, 3, -1, 2*time.Millisecond, 0, now, 20*time.Millisecond)
+	}
+	if d.Degraded(3) {
+		t.Fatal("dwell never expired")
+	}
+	// Now converged: healthy samples through probation confirm recovery.
+	start := now
+	for now.Sub(start) < 2*cfg.RecoverHold {
+		now = feedPool(d, 4, -1, 2*time.Millisecond, 0, now, 20*time.Millisecond)
+	}
+	if got := d.Recoveries(); got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+	snap := d.Snapshot()
+	if snap[3].Degraded || snap[3].Probation {
+		t.Fatalf("backend 3 still degraded/probation after recovery: %+v", snap[3])
+	}
+}
+
+func TestDetectorFlappingDoublesDwell(t *testing.T) {
+	d, _ := testDetector(4)
+	now := time.Unix(0, 0)
+	eject := func() {
+		for i := 0; i < 200 && !d.Degraded(1); i++ {
+			now = feedPool(d, 4, 1, 2*time.Millisecond, 20*time.Millisecond, now, 20*time.Millisecond)
+		}
+		if !d.Degraded(1) {
+			t.Fatal("backend 1 did not eject")
+		}
+	}
+	readmit := func() time.Duration {
+		start := now
+		for i := 0; i < 5000 && d.Degraded(1); i++ {
+			now = feedPool(d, 3, -1, 2*time.Millisecond, 0, now, 5*time.Millisecond)
+		}
+		if d.Degraded(1) {
+			t.Fatal("backend 1 never readmitted")
+		}
+		return now.Sub(start)
+	}
+	eject()
+	first := readmit()
+	// Still slow during probation: re-ejects, and the second dwell must
+	// be materially longer than the first.
+	eject()
+	second := readmit()
+	if second < first*3/2 {
+		t.Fatalf("flapping dwell did not grow: first %v, second %v", first, second)
+	}
+}
+
+func TestDetectorNeverEjectsMajority(t *testing.T) {
+	d, _ := testDetector(4)
+	now := time.Unix(0, 0)
+	// Two of four backends slow: at most (4-1)/2 = 1 may eject.
+	for i := 0; i < 300; i++ {
+		for s := 0; s < 4; s++ {
+			lat := 2 * time.Millisecond
+			if s >= 2 {
+				lat = 30 * time.Millisecond
+			}
+			now = feed(d, s, 1, lat, now, 5*time.Millisecond)
+		}
+	}
+	if got := d.DegradedCount(); got > 1 {
+		t.Fatalf("ejected %d of 4 backends, cap is 1", got)
+	}
+}
+
+func TestDetectorResetClearsState(t *testing.T) {
+	d, _ := testDetector(4)
+	now := time.Unix(0, 0)
+	now = ejectLoop(t, d, 4, 0, now)
+	d.Reset(0)
+	if d.Degraded(0) {
+		t.Fatal("Reset left backend 0 degraded")
+	}
+	if d.DegradedCount() != 0 {
+		t.Fatalf("DegradedCount = %d after Reset", d.DegradedCount())
+	}
+	snap := d.Snapshot()
+	if snap[0].Samples != 0 || snap[0].P90 != 0 {
+		t.Fatalf("Reset left samples: %+v", snap[0])
+	}
+}
+
+func TestDetectorHedgeDelayTracksHealthyTail(t *testing.T) {
+	d, _ := testDetector(4)
+	now := time.Unix(0, 0)
+	if d.HedgeDelay() != 0 {
+		t.Fatal("HedgeDelay non-zero before samples")
+	}
+	now = ejectLoop(t, d, 4, 3, now)
+	// Push another evaluation so the pooled tail excludes the ejected
+	// backend's window.
+	for i := 0; i < 10; i++ {
+		now = feedPool(d, 3, -1, 2*time.Millisecond, 0, now, 20*time.Millisecond)
+	}
+	hd := d.HedgeDelay()
+	if hd <= 0 || hd > 10*time.Millisecond {
+		t.Fatalf("HedgeDelay = %v, want healthy-tail (~2ms)", hd)
+	}
+}
+
+func TestDetectorSingleBackendNeverEjects(t *testing.T) {
+	d, _ := testDetector(1)
+	now := time.Unix(0, 0)
+	now = feed(d, 0, 500, 100*time.Millisecond, now, 20*time.Millisecond)
+	if d.Degraded(0) {
+		t.Fatal("single-backend pool ejected its only backend")
+	}
+	_ = now
+}
+
+func TestDetectorTickAdvancesDwell(t *testing.T) {
+	d, cfg := testDetector(4)
+	now := time.Unix(0, 0)
+	now = ejectLoop(t, d, 4, 1, now)
+	// No traffic at all: Tick alone must readmit once the dwell expires.
+	d.Tick(now.Add(cfg.Eject * 2))
+	if d.Degraded(1) {
+		t.Fatal("Tick did not readmit after dwell")
+	}
+}

@@ -79,6 +79,9 @@ func (d *Distributor) ScaleDown() (server int, ok bool) {
 // comes from the core's current decision snapshot, not the boot-time
 // miner, so incrementally folded popularity shifts steer the preload.
 func (d *Distributor) finishJoin(server int) {
+	if d.detector != nil {
+		d.detector.Reset(server)
+	}
 	d.core.SetPoolSize(d.pool.Size(), time.Now())
 	ranker := d.core.Ranker()
 	if d.pool.Config().ColdJoin || ranker == nil {
@@ -117,6 +120,11 @@ func (d *Distributor) reapDrains() {
 		unpinned := d.core.DetachBackend(i)
 		if countRebooks {
 			d.pool.NoteRebooked(unpinned)
+		}
+		if d.detector != nil {
+			// A departed member's latency window must not survive into
+			// its next join.
+			d.detector.Reset(i)
 		}
 		d.core.SetPoolSize(d.pool.Size(), time.Now())
 	}

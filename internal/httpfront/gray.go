@@ -1,0 +1,406 @@
+package httpfront
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"prord/internal/health"
+	"prord/internal/overload"
+	"prord/internal/trace"
+)
+
+// GrayConfig enables the gray-failure resilience layer on the live
+// front-end: a relative latency-outlier detector that soft-excludes
+// degraded backends (ejection plus progressive session rebinding),
+// hedged backup requests for idempotent static content, and
+// tier-derived per-request deadline budgets. The detection and hedging
+// machinery is the same code the simulator runs (cluster.GrayConfig);
+// this layer adds the live substrate: wall-clock ticking, cancelable
+// proxy legs and the winner-takes-the-writer race.
+type GrayConfig struct {
+	// Detector tunes the relative latency-outlier detector; zero fields
+	// take the health package defaults.
+	Detector health.DetectorConfig
+	// Hedge enables hedged backup requests: when an idempotent (GET or
+	// HEAD) static request is still unanswered after the detector's
+	// pooled-p95 hedge delay, one backup goes to the best non-degraded
+	// backend holding the file and the first committed response wins;
+	// the loser's transfer is canceled. Hedging stands down at
+	// Saturated tier and above — duplicating work under overload makes
+	// the overload worse.
+	Hedge bool
+	// HedgeCap bounds outstanding hedged requests per backend; 0
+	// defaults to 2.
+	HedgeCap int
+	// Deadline is the per-request deadline budget at Normal and
+	// Elevated tiers; it halves at Saturated and quarters at Critical,
+	// spending less of the cluster on any one request exactly when
+	// capacity is scarce. One budget covers the whole request — every
+	// failover attempt and any hedged backup. 0 disables deadlines.
+	Deadline time.Duration
+}
+
+// withDefaults fills zero fields.
+func (g GrayConfig) withDefaults() GrayConfig {
+	g.Detector = g.Detector.WithDefaults()
+	if g.HedgeCap == 0 {
+		g.HedgeCap = 2
+	}
+	return g
+}
+
+// GrayStats are the resilience layer's live counters, mirroring the
+// simulator's GrayResult for the cluster stats endpoint.
+type GrayStats struct {
+	Ejections    int64 `json:"ejections"`
+	Recoveries   int64 `json:"recoveries"`
+	GrayRebinds  int64 `json:"gray_rebinds"`
+	HedgesFired  int64 `json:"hedges_fired"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	HedgeCancels int64 `json:"hedge_cancels"`
+	// Degraded lists the currently ejected backends.
+	Degraded []int `json:"degraded,omitempty"`
+}
+
+// Gray returns the resilience layer's counters, or nil when the layer
+// is disabled.
+func (d *Distributor) Gray() *GrayStats {
+	if d.detector == nil {
+		return nil
+	}
+	cs := d.core.Stats()
+	g := &GrayStats{
+		Ejections:    d.detector.Ejections(),
+		Recoveries:   d.detector.Recoveries(),
+		GrayRebinds:  cs.GrayRebinds,
+		HedgesFired:  cs.HedgesFired,
+		HedgeWins:    cs.HedgeWins,
+		HedgeCancels: d.hedgeCancels.Load(),
+	}
+	for i, b := range d.detector.Snapshot() {
+		if b.Degraded {
+			g.Degraded = append(g.Degraded, i)
+		}
+	}
+	return g
+}
+
+// observeLatency feeds the detector one completed proxied attempt.
+func (d *Distributor) observeLatency(server int, lat time.Duration) {
+	if d.detector != nil {
+		d.detector.Observe(server, lat, time.Now())
+	}
+}
+
+// grayTickLoop advances the detector's dwell and probation clocks while
+// traffic is sparse, so ejected backends still readmit on schedule.
+func (d *Distributor) grayTickLoop(stop <-chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			d.detector.Tick(time.Now())
+		}
+	}
+}
+
+// scaledDeadline derives the effective per-request budget from the
+// overload tier: full at Normal and Elevated, half at Saturated, a
+// quarter at Critical.
+func scaledDeadline(base time.Duration, tier overload.Tier) time.Duration {
+	switch {
+	case base <= 0:
+		return 0
+	case tier >= overload.Critical:
+		return base / 4
+	case tier >= overload.Saturated:
+		return base / 2
+	}
+	return base
+}
+
+// deadlineBudget returns the current request deadline budget (0 when
+// deadlines are disabled).
+func (d *Distributor) deadlineBudget() time.Duration {
+	return scaledDeadline(d.gray.Deadline, d.core.Tier())
+}
+
+// hedgeable reports whether a path is worth arming a hedge for right
+// now: the layer is on, the content is static (idempotent to duplicate)
+// and the detector has published a hedge delay.
+func (d *Distributor) hedgeable(path string) bool {
+	if d.detector == nil || !d.gray.Hedge {
+		return false
+	}
+	if trace.IsDynamicPath(path) {
+		return false
+	}
+	return d.detector.HedgeDelay() > 0
+}
+
+// proxyTo runs one reverse-proxy attempt, absorbing the ErrAbortHandler
+// panic net/http's ReverseProxy raises when a response copy is cut off
+// mid-stream (deadline-budget expiry, hedge-race cancellation, client
+// disconnect). The request's bookings must be released by the caller no
+// matter how the copy ended, so the abort cannot be allowed to unwind
+// ServeHTTP.
+func (d *Distributor) proxyTo(server int, w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if e := recover(); e != nil && e != http.ErrAbortHandler {
+			panic(e)
+		}
+	}()
+	d.proxies[server].ServeHTTP(w, r)
+}
+
+// raceWriter arbitrates a hedged pair racing to answer one client:
+// exactly one leg claims the underlying writer, the other discards.
+// Leaf lock (lock class raceWriter.mu): nothing is called while it is
+// held.
+type raceWriter struct {
+	dst http.ResponseWriter
+
+	mu    sync.Mutex
+	owner int // 0 unclaimed; else the winning leg's id
+}
+
+// claim takes ownership for leg id, reporting whether it won.
+func (rw *raceWriter) claim(id int) bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.owner == 0 {
+		rw.owner = id
+	}
+	return rw.owner == id
+}
+
+// leg is one racer's http.ResponseWriter: it buffers headers until its
+// first success commit, claims the client writer on commit, and
+// discards everything once the other leg has claimed or its own
+// response failed. A leg is only ever used from its own goroutine; the
+// raceWriter is the sole shared state.
+type leg struct {
+	race        *raceWriter
+	id          int
+	ctx         context.Context
+	cancelSelf  context.CancelFunc
+	cancelOther func()
+	header      http.Header
+	status      int
+	failed      bool // genuine backend failure (5xx with a live context)
+	won         bool // this leg owns the client writer
+	lost        bool // the other leg owns it (or our transfer was canceled)
+}
+
+func newLeg(race *raceWriter, id int, ctx context.Context, cancelSelf context.CancelFunc, cancelOther func()) *leg {
+	return &leg{
+		race: race, id: id, ctx: ctx,
+		cancelSelf: cancelSelf, cancelOther: cancelOther,
+		header: make(http.Header), status: http.StatusOK,
+	}
+}
+
+func (l *leg) Header() http.Header {
+	if l.won {
+		return l.race.dst.Header()
+	}
+	return l.header
+}
+
+// tryClaim commits this leg's response head to the client writer if the
+// race is still open; on loss the leg's context is canceled so the
+// proxy stops copying a body nobody will read.
+func (l *leg) tryClaim(code int) {
+	if !l.race.claim(l.id) {
+		l.lost = true
+		l.cancelSelf()
+		return
+	}
+	dst := l.race.dst.Header()
+	for k, vv := range l.header {
+		dst[k] = vv
+	}
+	l.won = true
+	l.status = code
+	l.race.dst.WriteHeader(code)
+	l.cancelOther()
+}
+
+func (l *leg) WriteHeader(code int) {
+	if l.won || l.lost || l.failed {
+		return
+	}
+	if code >= http.StatusInternalServerError {
+		if l.ctx.Err() == context.Canceled {
+			// Not a backend failure: our transfer was canceled because
+			// the other leg already delivered (a deadline expiry reports
+			// DeadlineExceeded and still counts as failed).
+			l.lost = true
+			return
+		}
+		// A failed leg never claims the client: the race stays open for
+		// the other leg, and the caller replays the failure through the
+		// ordinary retry path if both legs lose.
+		l.status = code
+		l.failed = true
+		l.cancelSelf()
+		return
+	}
+	l.tryClaim(code)
+}
+
+func (l *leg) Write(p []byte) (int, error) {
+	if l.failed || l.lost {
+		return len(p), nil
+	}
+	if !l.won {
+		l.tryClaim(http.StatusOK)
+		if !l.won {
+			return len(p), nil
+		}
+	}
+	return l.race.dst.Write(p)
+}
+
+// Flush implements http.Flusher for the winning leg so streamed
+// responses keep flowing through the race.
+func (l *leg) Flush() {
+	if !l.won {
+		return
+	}
+	if f, ok := l.race.dst.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// hedgedAttempt is the bookkeeping for one primary attempt with an
+// armed hedge timer. Its mutex is a leaf lock (lock class
+// hedgedAttempt.mu) guarding the primary-returned / backup-launched
+// handshake; the proxy work itself runs outside it.
+type hedgedAttempt struct {
+	race raceWriter
+
+	mu          sync.Mutex
+	primaryDone bool
+	launched    bool
+	cancelP     context.CancelFunc
+	cancelB     context.CancelFunc
+
+	// done closes when the backup goroutine finishes (only ever closed
+	// after launched is set; the primary waits on it in that case).
+	done chan struct{}
+
+	// Written by the backup goroutine before close(done); read by the
+	// primary goroutine after <-done.
+	fired     bool
+	target    int
+	backupWon bool
+}
+
+func (h *hedgedAttempt) cancelBackup() {
+	h.mu.Lock()
+	f := h.cancelB
+	h.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+func (h *hedgedAttempt) cancelPrimary() {
+	h.mu.Lock()
+	f := h.cancelP
+	h.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// proxyHedged runs the first attempt of an idempotent request with a
+// hedged backup armed: if the primary has not answered after the
+// detector's pooled-p95 hedge delay, one backup goes to the best
+// non-degraded holder of the file and the first committed response
+// wins; the loser's transfer is canceled without goroutine or
+// connection leaks (both legs are context-bound and the caller waits
+// for both to return). It returns the primary leg's status plus
+// whether (and where) a backup delivered instead. When neither leg
+// delivered, the recorder is untouched and the caller replays the
+// failure into the ordinary retry machinery.
+func (d *Distributor) proxyHedged(rec *statusRecorder, r *http.Request, path string, primary int) (status int, hedgeWon bool, winner int) {
+	h := &hedgedAttempt{done: make(chan struct{})}
+	h.race.dst = rec
+	ctxP, cancelP := context.WithCancel(r.Context())
+	defer cancelP()
+	h.cancelP = cancelP
+	prim := newLeg(&h.race, 1, ctxP, cancelP, h.cancelBackup)
+	prim.header.Set(BackendHeader, strconv.Itoa(primary))
+	timer := time.AfterFunc(d.detector.HedgeDelay(), func() { d.fireHedge(h, r, path, primary) })
+	d.proxyTo(primary, prim, r.WithContext(ctxP))
+	h.mu.Lock()
+	h.primaryDone = true
+	launched := h.launched
+	h.mu.Unlock()
+	timer.Stop()
+	if launched {
+		<-h.done
+	}
+	status = prim.status
+	if h.fired {
+		if h.backupWon {
+			return status, true, h.target
+		}
+		if !prim.failed {
+			// The primary answered first: the backup was moot.
+			d.hedgeCancels.Add(1)
+		}
+	}
+	return status, false, primary
+}
+
+// fireHedge is the hedge timer's callback: book and run the backup leg.
+// It runs on the timer goroutine; once it marks itself launched, the
+// primary goroutine waits for h.done, so the backup can never outlive
+// the request.
+func (d *Distributor) fireHedge(h *hedgedAttempt, r *http.Request, path string, primary int) {
+	h.mu.Lock()
+	if h.primaryDone {
+		h.mu.Unlock()
+		return
+	}
+	h.launched = true
+	h.mu.Unlock()
+	defer close(h.done)
+	// Mirror the simulator's stand-down checks at fire time.
+	if d.core.Tier() >= overload.Saturated {
+		return
+	}
+	target, ok := d.core.HedgeTarget(path, primary, time.Now())
+	if !ok {
+		return
+	}
+	if !d.core.TryBeginHedge(target, path, d.gray.HedgeCap) {
+		return
+	}
+	h.fired, h.target = true, target
+	ctxB, cancelB := context.WithCancel(r.Context())
+	h.mu.Lock()
+	h.cancelB = cancelB
+	h.mu.Unlock()
+	defer cancelB()
+	backup := newLeg(&h.race, 2, ctxB, cancelB, h.cancelPrimary)
+	backup.header.Set(BackendHeader, strconv.Itoa(target))
+	d.beginAttempt(target)
+	start := time.Now()
+	d.proxyTo(target, backup, r.Clone(ctxB))
+	d.endAttempt(target, backup.failed)
+	d.core.FinishHedge(target, path, backup.failed, backup.won)
+	if backup.won {
+		d.observeLatency(target, time.Since(start))
+		h.backupWon = true
+	}
+}

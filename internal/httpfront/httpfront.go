@@ -16,6 +16,7 @@
 package httpfront
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prord/internal/autoscale"
@@ -113,6 +115,13 @@ type Config struct {
 	// makes, in decision order (differential testing against the
 	// simulator).
 	Recorder func(dispatch.Record)
+	// Gray enables the gray-failure resilience layer: the latency
+	// outlier detector ejecting slow backends from new-session routing
+	// (with progressive rebinding of bound sessions), hedged backup
+	// requests for idempotent static content, and tier-derived
+	// per-request deadline budgets. Nil disables the layer entirely (no
+	// behavior change).
+	Gray *GrayConfig
 	// Autoscale enables the elastic backend pool: Backends becomes the
 	// provisioned maximum and the pool starts at Autoscale.Initial
 	// members. With Overload also enabled, an organic controller watches
@@ -217,6 +226,12 @@ type Distributor struct {
 	prefetchFails int64
 	probeStop     chan struct{}
 	scaleStop     chan struct{}
+	grayStop      chan struct{}
+
+	// Gray-failure resilience layer (nil/zero when Config.Gray is nil).
+	gray         GrayConfig
+	detector     *health.Detector
+	hedgeCancels atomic.Int64
 
 	pool  *autoscale.Pool
 	actrl *autoscale.Controller
@@ -271,6 +286,10 @@ func New(cfg Config) (*Distributor, error) {
 		d.proxies = append(d.proxies, p)
 		d.breakers = append(d.breakers, health.NewBreaker(cfg.Health))
 	}
+	if cfg.Gray != nil {
+		d.gray = cfg.Gray.withDefaults()
+		d.detector = health.NewDetector(len(cfg.Backends), d.gray.Detector)
+	}
 	if cfg.Autoscale != nil {
 		ac := *cfg.Autoscale
 		if ac.Max <= 0 {
@@ -314,6 +333,9 @@ func New(cfg Config) (*Distributor, error) {
 		Recorder: cfg.Recorder,
 		Pool:     d.pool,
 	}
+	if d.detector != nil {
+		dcfg.Degraded = d.detector.Degraded
+	}
 	if cfg.Overload != nil {
 		// Saturated-tier routing degrades to locality-only LARD.
 		dcfg.Fallback = policy.NewLARD(policy.Thresholds{})
@@ -339,6 +361,10 @@ func New(cfg Config) (*Distributor, error) {
 		}
 		d.scaleStop = make(chan struct{})
 		go d.scaleLoop(d.scaleStop, interval)
+	}
+	if d.detector != nil {
+		d.grayStop = make(chan struct{})
+		go d.grayTickLoop(d.grayStop, d.gray.Detector.EvalInterval)
 	}
 	return d, nil
 }
@@ -410,6 +436,12 @@ func (d *Distributor) endAttempt(server int, failed bool) {
 	d.hmu.Unlock()
 	if tripped {
 		d.core.InvalidateBackend(server)
+		if d.detector != nil {
+			// A hard trip supersedes gray detection: clear the latency
+			// window so a past life's samples never drive an ejection
+			// after the breaker re-admits the backend.
+			d.detector.Reset(server)
+		}
 	}
 }
 
@@ -453,6 +485,13 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		d.reject(w, true)
 		return
 	}
+	if budget := d.deadlineBudget(); budget > 0 {
+		// One tier-derived deadline budget covers the whole request —
+		// every failover attempt and any hedged backup.
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	out := d.core.Route(key, path, 0, time.Now())
 	if !out.OK {
 		// Every breaker is open: refuse fast instead of retrying into a
@@ -464,18 +503,49 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	server := out.Server
 	d.beginAttempt(server)
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
 	retries := 0
-	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+	if idempotent {
 		retries = d.retries
 	}
 	var rec *statusRecorder
+	winner := server
 	for attempt := 0; ; attempt++ {
 		rec = newStatusRecorder(w, attempt < retries)
 		rec.Header().Set(BackendHeader, strconv.Itoa(server))
-		d.proxies[server].ServeHTTP(rec, r)
-		failed := rec.status >= http.StatusInternalServerError
+		attemptStart := time.Now()
+		var status int
+		var hedgeWon bool
+		if attempt == 0 && idempotent && r.ContentLength == 0 && d.hedgeable(path) {
+			status, hedgeWon, winner = d.proxyHedged(rec, r, path, server)
+			if !hedgeWon && status >= http.StatusInternalServerError {
+				// Neither leg delivered: replay the primary's failure
+				// into the recorder so the ordinary retry machinery
+				// (or the client, with retries exhausted) takes over.
+				rec.WriteHeader(status)
+				if !rec.discarded {
+					io.WriteString(rec, http.StatusText(status)+"\n")
+				}
+			}
+		} else {
+			d.proxyTo(server, rec, r)
+			status = rec.status
+		}
+		failed := status >= http.StatusInternalServerError
 		d.core.Done(key, server, path, failed, attempt > 0)
 		d.endAttempt(server, failed)
+		if !failed {
+			// Canceled hedge losers record their elapsed-until-cancel
+			// time — a lower bound on the true latency, and exactly the
+			// evidence that made the hedge fire — so a slow backend
+			// whose every request gets rescued still accumulates
+			// adverse samples.
+			d.observeLatency(server, time.Since(attemptStart))
+		}
+		if hedgeWon {
+			break
+		}
+		winner = server
 		if !failed || !rec.discarded {
 			break
 		}
@@ -499,13 +569,13 @@ func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// HTTP hints) runs after the page is served, like the simulator's
 	// backend-side prefetching.
 	if d.prefetch != nil && !trace.IsEmbeddedPath(path) {
-		if plan, ok := d.core.PlanProactive(key, server, path, time.Now()); ok {
+		if plan, ok := d.core.PlanProactive(key, winner, path, time.Now()); ok {
 			d.enqueuePrefetch(plan)
 		}
 	}
 	if d.cfg.Observe != nil {
 		d.cfg.Observe(Observation{
-			Backend: server,
+			Backend: winner,
 			Path:    path,
 			Status:  rec.status,
 			Latency: latency,
@@ -654,6 +724,14 @@ func (d *Distributor) probeOnce() {
 	d.hmu.Lock()
 	var targets []int
 	for i, b := range d.breakers {
+		if d.pool != nil && !d.pool.AcceptingNew(i) {
+			// Absent and Draining pool members are not probe targets:
+			// Absent backends are deprovisioned (probing them only
+			// manufactures breaker churn against a machine that is
+			// supposed to be off), and Draining ones are leaving
+			// regardless of what a probe finds.
+			continue
+		}
 		if b.State() != health.Closed {
 			targets = append(targets, i)
 		}
@@ -778,6 +856,8 @@ func (d *Distributor) Close() {
 	d.probeStop = nil
 	scale := d.scaleStop
 	d.scaleStop = nil
+	gray := d.grayStop
+	d.grayStop = nil
 	d.hmu.Unlock()
 	if ch != nil {
 		close(ch)
@@ -787,5 +867,8 @@ func (d *Distributor) Close() {
 	}
 	if scale != nil {
 		close(scale)
+	}
+	if gray != nil {
+		close(gray)
 	}
 }

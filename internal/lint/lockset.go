@@ -67,7 +67,11 @@ type rankDef struct {
 // nesting same-class stripes is flagged outright). The record
 // emitter's mutex, the striped policy target tables, the WRR rotor
 // and the incremental mining updater are leaves for the same reason:
-// each guards a few fields and calls nothing while held.
+// each guards a few fields and calls nothing while held. The gray
+// layer adds three more leaves: the latency-outlier detector's state
+// mutex (its evaluation sorts in-memory buffers only) and the hedge
+// race's two bookkeeping mutexes (writer arbitration and the
+// primary/backup handshake — the proxy work runs outside them).
 var lockHierarchy = []rankDef{
 	{"internal/autoscale", "Controller", "mu", 5, false},
 	{"internal/dispatch", "Core", "wrMu", 10, false},
@@ -80,6 +84,9 @@ var lockHierarchy = []rankDef{
 	{"internal/policy", "WRR", "mu", 94, true},
 	{"internal/mining", "Updater", "mu", 96, true},
 	{"internal/autoscale", "Pool", "mu", 95, true},
+	{"internal/health", "Detector", "mu", 97, true},
+	{"internal/httpfront", "raceWriter", "mu", 98, true},
+	{"internal/httpfront", "hedgedAttempt", "mu", 99, true},
 }
 
 // classifyLock maps the receiver of a Lock/Unlock call to its class.

@@ -1,0 +1,44 @@
+// lockorder fixture: the gray-failure detector's state mutex is a leaf
+// of the hierarchy — its evaluation only sorts in-memory buffers, so
+// nothing may be acquired and nothing may block while it is held. The
+// leaf rank only applies under prord/internal/health.
+package health
+
+import "sync"
+
+type Detector struct {
+	mu       sync.Mutex
+	backends []int
+}
+
+type sideTable struct {
+	mu sync.Mutex
+	n  int
+}
+
+// observeThenRank is the clean shape: the detector mutex is innermost
+// and everything under it is plain computation.
+func (d *Detector) observeThenRank(side *sideTable) {
+	side.mu.Lock()
+	side.n++
+	side.mu.Unlock()
+	d.mu.Lock()
+	d.backends = append(d.backends, side.n)
+	d.mu.Unlock()
+}
+
+// badNest acquires another mutex while the detector leaf is held.
+func (d *Detector) badNest(side *sideTable) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	side.mu.Lock() // want lockorder
+	side.n++
+	side.mu.Unlock()
+}
+
+// badNotify blocks on a channel send while the detector leaf is held.
+func (d *Detector) badNotify(ch chan int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch <- len(d.backends) // want lockorder
+}

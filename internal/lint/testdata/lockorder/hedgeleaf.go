@@ -1,0 +1,56 @@
+// lockorder fixture: the hedge race's bookkeeping mutexes are leaves —
+// raceWriter.mu arbitrates the client writer, hedgedAttempt.mu guards
+// the primary/backup handshake, and the proxy work runs outside both.
+// Nesting one under the other (either order) flags under
+// prord/internal/httpfront, where both classes are ranked leaves.
+package httpfront
+
+import "sync"
+
+type raceWriter struct {
+	mu    sync.Mutex
+	owner int
+}
+
+type hedgedAttempt struct {
+	race raceWriter
+
+	mu          sync.Mutex
+	primaryDone bool
+	launched    bool
+}
+
+// claim is the clean shape: each leaf is taken alone, innermost.
+func (h *hedgedAttempt) claim(id int) bool {
+	h.mu.Lock()
+	h.primaryDone = true
+	h.mu.Unlock()
+	h.race.mu.Lock()
+	defer h.race.mu.Unlock()
+	if h.race.owner == 0 {
+		h.race.owner = id
+	}
+	return h.race.owner == id
+}
+
+// badClaimUnderHandshake holds the handshake mutex across the writer
+// arbitration — a leaf acquired under a leaf.
+func (h *hedgedAttempt) badClaimUnderHandshake() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.launched {
+		h.race.mu.Lock() // want lockorder
+		h.race.owner = 1
+		h.race.mu.Unlock()
+	}
+}
+
+// badHandshakeUnderClaim is the inverse nesting; leaf rules are
+// direction-independent.
+func (h *hedgedAttempt) badHandshakeUnderClaim() {
+	h.race.mu.Lock()
+	defer h.race.mu.Unlock()
+	h.mu.Lock() // want lockorder
+	h.launched = true
+	h.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -13,6 +14,7 @@ import (
 	"prord/internal/httpfront"
 	"prord/internal/metrics"
 	"prord/internal/policy"
+	"prord/internal/randutil"
 )
 
 // observer aggregates the distributor's per-request observations: the
@@ -36,25 +38,48 @@ func (o *observer) summary() metrics.LatencySummary {
 }
 
 // gate sits between a backend's listener and the demo handler as the
-// fault schedule's kill switch: while down it answers 503 to
-// everything, like a crashed process behind a still-listening proxy.
-// It counts demand requests that arrive while down — probes and
-// prefetch hints are excluded, because the front-end is allowed (and
-// expected) to probe a dead backend; it must not send it client
-// traffic.
+// fault schedule's failure injector. Fail-stop (and the down half of a
+// flap cycle) answers 503 to everything, like a crashed process behind
+// a still-listening proxy; it counts demand requests that arrive while
+// down — probes and prefetch hints are excluded, because the front-end
+// is allowed (and expected) to probe a dead backend; it must not send
+// it client traffic. The gray modes keep the process "up": slow delays
+// every request — probes included, so the breaker keeps seeing
+// successes and only latency-relative detection can catch it — and
+// errrate fails a seeded fraction of demand requests while probes and
+// prefetches sail through.
 type gate struct {
 	inner      http.Handler
 	down       atomic.Bool
+	slowNS     atomic.Int64  // extra per-request delay while a slow fault is active
+	errBits    atomic.Uint64 // float64 bits of the active demand error rate
 	downDemand atomic.Int64
+
+	errMu  sync.Mutex
+	errRng *randutil.Source
 }
 
 func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	demand := r.Header.Get(httpfront.ProbeHeader) == "" && r.Header.Get(httpfront.PrefetchHeader) == ""
+	if d := g.slowNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	if g.down.Load() {
-		if r.Header.Get(httpfront.ProbeHeader) == "" && r.Header.Get(httpfront.PrefetchHeader) == "" {
+		if demand {
 			g.downDemand.Add(1)
 		}
 		http.Error(w, "backend killed by fault schedule", http.StatusServiceUnavailable)
 		return
+	}
+	if p := math.Float64frombits(g.errBits.Load()); p > 0 && demand {
+		g.errMu.Lock()
+		roll := g.errRng.Float64()
+		g.errMu.Unlock()
+		if roll < p {
+			g.downDemand.Add(1)
+			http.Error(w, "backend error injected by fault schedule", http.StatusServiceUnavailable)
+			return
+		}
 	}
 	g.inner.ServeHTTP(w, r)
 }
@@ -88,7 +113,10 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 	for i := 0; i < h.cfg.Backends; i++ {
 		b := httpfront.NewDemoBackend(fmt.Sprintf("b%d", i), h.files, h.cfg.CacheBytes, h.cfg.MissLatency)
 		c.demos = append(c.demos, b)
-		g := &gate{inner: b}
+		// Each gate gets its own seeded stream for errrate rolls, so a
+		// fault schedule replays the same per-backend error pattern for
+		// every policy under the same -seed.
+		g := &gate{inner: b, errRng: randutil.New(h.cfg.Seed + 0x677261 + int64(i))}
 		c.gates = append(c.gates, g)
 		srv := httptest.NewServer(g)
 		c.servers = append(c.servers, srv)
@@ -112,6 +140,7 @@ func (h *Harness) startCluster(polName string) (*liveCluster, error) {
 		ProbeSeed:     h.cfg.Seed,
 		Overload:      h.cfg.Overload,
 		Autoscale:     h.cfg.Autoscale,
+		Gray:          h.cfg.Gray,
 	}
 	if polName == "PRORD" {
 		cfg.Miner = h.freshMiner()
@@ -136,19 +165,50 @@ func (h *Harness) startFaults(c *liveCluster, start time.Time) (stop func()) {
 		return func() {}
 	}
 	type event struct {
-		at   time.Duration
-		gate *gate
-		down bool
+		at    time.Duration
+		apply func()
 	}
 	var events []event
 	for _, f := range h.cfg.Faults {
 		g := c.gates[f.Backend]
-		events = append(events, event{at: f.At, gate: g, down: true})
-		if f.RecoverAt > 0 {
-			events = append(events, event{at: f.RecoverAt, gate: g, down: false})
+		switch f.Mode {
+		case Slow:
+			// The live gate cannot stretch the demo handler's internal
+			// sleeps, so it models an xN dilation as a flat (N-1)x-miss
+			// pre-delay on every request, probes included.
+			unit := h.cfg.MissLatency
+			if unit <= 0 {
+				unit = time.Millisecond
+			}
+			delay := int64(float64(unit) * (f.Slowdown - 1))
+			events = append(events, event{at: f.At, apply: func() { g.slowNS.Store(delay) }})
+			if f.RecoverAt > 0 {
+				events = append(events, event{at: f.RecoverAt, apply: func() { g.slowNS.Store(0) }})
+			}
+		case ErrRate:
+			bits := math.Float64bits(f.ErrRate)
+			events = append(events, event{at: f.At, apply: func() { g.errBits.Store(bits) }})
+			if f.RecoverAt > 0 {
+				events = append(events, event{at: f.RecoverAt, apply: func() { g.errBits.Store(0) }})
+			}
+		case Flap:
+			// Down at At, toggling every period; validateFaults guarantees
+			// RecoverAt bounds the schedule, and recovery always ends up.
+			down := true
+			for t := f.At; t < f.RecoverAt; t += f.FlapPeriod {
+				d := down
+				events = append(events, event{at: t, apply: func() { g.down.Store(d) }})
+				down = !down
+			}
+			events = append(events, event{at: f.RecoverAt, apply: func() { g.down.Store(false) }})
+		default: // fail-stop
+			events = append(events, event{at: f.At, apply: func() { g.down.Store(true) }})
+			if f.RecoverAt > 0 {
+				events = append(events, event{at: f.RecoverAt, apply: func() { g.down.Store(false) }})
+			}
 		}
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
 	quit := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -168,7 +228,7 @@ func (h *Harness) startFaults(c *liveCluster, start time.Time) (stop func()) {
 				return
 			case <-t.C:
 			}
-			e.gate.down.Store(e.down)
+			e.apply()
 		}
 	}()
 	return func() { close(quit); <-done }

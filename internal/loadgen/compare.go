@@ -45,13 +45,17 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		feats = cluster.Features{Bundle: true, NavPrefetch: true}
 		miner = h.freshMiner()
 	}
-	// The fault schedule maps one-to-one onto the simulator's fail-stop
-	// crashes. Open mode lines up exactly (sim times are the live
-	// arrival offsets); closed mode is approximate because simTrace
-	// compresses session times onto the measurement window.
+	// The fault schedule maps one-to-one onto the simulator's failure
+	// model, gray modes included. Open mode lines up exactly (sim times
+	// are the live arrival offsets); closed mode is approximate because
+	// simTrace compresses session times onto the measurement window.
 	var fails []cluster.Failure
 	for _, f := range h.cfg.Faults {
-		fails = append(fails, cluster.Failure{Server: f.Backend, At: f.At, RecoverAt: f.RecoverAt})
+		fails = append(fails, cluster.Failure{
+			Server: f.Backend, At: f.At, RecoverAt: f.RecoverAt,
+			Mode:     cluster.FailureMode(f.Mode),
+			Slowdown: f.Slowdown, ErrRate: f.ErrRate, FlapPeriod: f.FlapPeriod,
+		})
 	}
 	// The scale schedule maps the same way: the simulator's pool joins
 	// and drains at the live schedule's offsets (with the same closed-
@@ -59,6 +63,16 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 	var scales []cluster.ScaleEvent
 	for _, e := range h.cfg.ScaleEvents {
 		scales = append(scales, cluster.ScaleEvent{Delta: e.Delta, At: e.At})
+	}
+	// The gray layer maps detector and hedging one-to-one; deadline
+	// budgets are a live-transport concern the simulator does not model.
+	var gray *cluster.GrayConfig
+	if g := h.cfg.Gray; g != nil {
+		gray = &cluster.GrayConfig{
+			Detector: g.Detector,
+			Hedge:    g.Hedge,
+			HedgeCap: g.HedgeCap,
+		}
 	}
 	cl, err := cluster.New(cluster.Config{
 		Params:      params,
@@ -69,6 +83,7 @@ func (h *Harness) simCompare(polName string, live *metrics.BenchRun) (*metrics.S
 		Overload:    h.cfg.Overload,
 		Autoscale:   h.cfg.Autoscale,
 		ScaleEvents: scales,
+		Gray:        gray,
 	})
 	if err != nil {
 		return nil, err

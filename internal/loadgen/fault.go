@@ -7,29 +7,88 @@ import (
 	"time"
 )
 
-// Fault schedules one fail-stop backend outage during a live run,
-// mirroring the simulator's cluster.Failure: backend Backend stops
-// answering at offset At (every request gets 503 until recovery) and,
-// when RecoverAt is nonzero, comes back with a cold cache at RecoverAt.
-// Offsets are measured from the run start — the same clock the
-// open-loop arrival schedule uses, so "kill backend 1 at 5s" lines up
-// with the offered workload. Closed-loop replay is completion-paced and
-// its sim comparison compresses session times onto the measurement
+// FaultMode selects what kind of failure a Fault injects. The zero
+// value is the original fail-stop crash; the other modes are gray
+// failures — the backend keeps answering, just badly — which is what
+// the slow-backend detector and hedging layer exist to catch.
+type FaultMode int
+
+const (
+	// FailStop kills the backend outright: every request (demand,
+	// probe, prefetch) answers 503 until recovery, like a crashed
+	// process behind a still-listening proxy. The health breaker
+	// catches this mode on its own.
+	FailStop FaultMode = iota
+	// Slow dilates the backend's service time without returning a
+	// single error — the canonical gray failure. Probes succeed
+	// (slowly), so the breaker never opens; only latency-relative
+	// detection sees it.
+	Slow
+	// ErrRate fails a seeded fraction of demand requests with 503
+	// while probes and prefetch hints keep succeeding, so the breaker
+	// sees a healthy backend while clients see intermittent errors.
+	ErrRate
+	// Flap toggles the backend between up and fail-stop-down every
+	// FlapPeriod — fast enough that breaker state chases it.
+	Flap
+)
+
+// String returns the mode's grammar keyword ("" for fail-stop).
+func (m FaultMode) String() string {
+	switch m {
+	case Slow:
+		return "slow"
+	case ErrRate:
+		return "errrate"
+	case Flap:
+		return "flap"
+	default:
+		return ""
+	}
+}
+
+// Fault schedules one backend failure during a live run, mirroring the
+// simulator's cluster.Failure: backend Backend misbehaves per Mode
+// from offset At and, when RecoverAt is nonzero, returns to normal at
+// RecoverAt. Offsets are measured from the run start — the same clock
+// the open-loop arrival schedule uses, so "kill backend 1 at 5s" lines
+// up with the offered workload. Closed-loop replay is completion-paced
+// and its sim comparison compresses session times onto the measurement
 // window, so fault offsets there are approximate in the simulator.
 type Fault struct {
-	// Backend is the index of the backend to kill.
+	// Backend is the index of the backend to degrade.
 	Backend int
-	// At is the outage start, as an offset from run start.
+	// At is the fault start, as an offset from run start.
 	At time.Duration
-	// RecoverAt is the recovery time; zero means the backend stays down
-	// for the rest of the run. Must exceed At when set.
+	// RecoverAt is the recovery time; zero means the fault lasts for
+	// the rest of the run. Must exceed At when set, and must be set
+	// for Flap (the toggle schedule needs a finite horizon).
 	RecoverAt time.Duration
+	// Mode is the failure kind; the zero value is FailStop.
+	Mode FaultMode
+	// Slowdown is Slow's service-time multiplier (> 1).
+	Slowdown float64
+	// ErrRate is ErrRate's per-request failure probability in (0, 1).
+	// 1 is rejected — a backend that fails everything is FailStop, and
+	// retrying against a 100%-erroring-but-available backend would
+	// never terminate.
+	ErrRate float64
+	// FlapPeriod is Flap's half-cycle: down for one period, up for the
+	// next, starting down at At.
+	FlapPeriod time.Duration
 }
 
 // ParseFaults parses a -faults flag value: comma-separated
-// "backend@at[:recoverAt]" items with Go duration syntax, e.g.
+// "backend@at[:recoverAt][/mode]" items with Go duration syntax.
+// Without a mode suffix the fault is the original fail-stop crash:
 // "1@5s:8s,0@3s" kills backend 1 from 5s to 8s and backend 0 from 3s
-// onward. An empty string is no faults.
+// onward. The mode suffix selects a gray failure:
+//
+//	1@5s:20s/slow=x10     service time dilated 10x, no errors
+//	1@5s:20s/errrate=0.3  30% of demand requests answer 503
+//	1@5s:20s/flap=500ms   down/up toggles every 500ms
+//
+// An empty string is no faults.
 func ParseFaults(s string) ([]Fault, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -38,14 +97,15 @@ func ParseFaults(s string) ([]Fault, error) {
 	var out []Fault
 	for _, item := range strings.Split(s, ",") {
 		item = strings.TrimSpace(item)
-		backendStr, times, ok := strings.Cut(item, "@")
+		backendStr, rest, ok := strings.Cut(item, "@")
 		if !ok {
-			return nil, fmt.Errorf("loadgen: fault %q: want backend@at[:recoverAt]", item)
+			return nil, fmt.Errorf("loadgen: fault %q: want backend@at[:recoverAt][/mode]", item)
 		}
 		backend, err := strconv.Atoi(backendStr)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: fault %q: bad backend index: %v", item, err)
 		}
+		times, modeStr, hasMode := strings.Cut(rest, "/")
 		atStr, recStr, hasRec := strings.Cut(times, ":")
 		at, err := time.ParseDuration(atStr)
 		if err != nil {
@@ -59,9 +119,49 @@ func ParseFaults(s string) ([]Fault, error) {
 			}
 			f.RecoverAt = rec
 		}
+		if hasMode {
+			if err := parseMode(&f, modeStr); err != nil {
+				return nil, fmt.Errorf("loadgen: fault %q: %v", item, err)
+			}
+		}
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// parseMode parses the "/mode" suffix into f.
+func parseMode(f *Fault, s string) error {
+	key, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("bad mode %q: want slow=xN, errrate=p or flap=period", s)
+	}
+	switch key {
+	case "slow":
+		x, found := strings.CutPrefix(val, "x")
+		if !found {
+			return fmt.Errorf("bad slowdown %q: want xN (e.g. slow=x10)", val)
+		}
+		factor, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return fmt.Errorf("bad slowdown %q: %v", val, err)
+		}
+		f.Mode, f.Slowdown = Slow, factor
+	case "errrate":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad error rate %q: %v", val, err)
+		}
+		f.Mode, f.ErrRate = ErrRate, p
+	case "flap":
+		period, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("bad flap period %q: %v", val, err)
+		}
+		f.Mode, f.FlapPeriod = Flap, period
+	default:
+		return fmt.Errorf("unknown mode %q: want slow, errrate or flap", key)
+	}
+	return nil
 }
 
 // validateFaults applies the same rules cluster.New enforces for
@@ -77,6 +177,23 @@ func validateFaults(faults []Fault, backends int) error {
 		}
 		if f.RecoverAt != 0 && f.RecoverAt <= f.At {
 			return fmt.Errorf("loadgen: fault recovery %v must follow outage %v", f.RecoverAt, f.At)
+		}
+		switch f.Mode {
+		case Slow:
+			if f.Slowdown <= 1 {
+				return fmt.Errorf("loadgen: slow fault needs a slowdown > 1, got x%g", f.Slowdown)
+			}
+		case ErrRate:
+			if f.ErrRate <= 0 || f.ErrRate >= 1 {
+				return fmt.Errorf("loadgen: errrate fault needs a rate in (0,1), got %g (use fail-stop for a full outage)", f.ErrRate)
+			}
+		case Flap:
+			if f.FlapPeriod <= 0 {
+				return fmt.Errorf("loadgen: flap fault needs a positive period, got %v", f.FlapPeriod)
+			}
+			if f.RecoverAt == 0 {
+				return fmt.Errorf("loadgen: flap fault needs a recovery time to bound its toggle schedule")
+			}
 		}
 	}
 	return nil

@@ -30,6 +30,62 @@ func TestParseFaults(t *testing.T) {
 	}
 }
 
+func TestParseFaultModes(t *testing.T) {
+	got, err := ParseFaults("1@5s:20s/slow=x10,0@2s/errrate=0.3,1@1s:9s/flap=500ms,0@3s/slow=x2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Backend: 1, At: 5 * time.Second, RecoverAt: 20 * time.Second, Mode: Slow, Slowdown: 10},
+		{Backend: 0, At: 2 * time.Second, Mode: ErrRate, ErrRate: 0.3},
+		{Backend: 1, At: time.Second, RecoverAt: 9 * time.Second, Mode: Flap, FlapPeriod: 500 * time.Millisecond},
+		{Backend: 0, At: 3 * time.Second, Mode: Slow, Slowdown: 2.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseFaults = %+v, want %+v", got, want)
+	}
+	bad := []string{
+		"1@5s/slow=10",     // missing x prefix
+		"1@5s/slow=x",      // empty factor
+		"1@5s/slow",        // no value
+		"1@5s/errrate=abc", // not a number
+		"1@5s/flap=zz",     // not a duration
+		"1@5s/wobble=3",    // unknown mode
+	}
+	for _, s := range bad {
+		if _, err := ParseFaults(s); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", s)
+		}
+	}
+}
+
+func TestValidateFaultModes(t *testing.T) {
+	bad := [][]Fault{
+		{{Backend: 0, At: time.Second, Mode: Slow, Slowdown: 1}},   // no dilation
+		{{Backend: 0, At: time.Second, Mode: Slow, Slowdown: 0.5}}, // speedup
+		{{Backend: 0, At: time.Second, Mode: ErrRate, ErrRate: 0}},
+		{{Backend: 0, At: time.Second, Mode: ErrRate, ErrRate: 1}},                      // full outage is fail-stop's job
+		{{Backend: 0, At: time.Second, RecoverAt: 2 * time.Second, Mode: Flap}},         // no period
+		{{Backend: 0, At: time.Second, Mode: Flap, FlapPeriod: 100 * time.Millisecond}}, // unbounded toggle schedule
+	}
+	for i, faults := range bad {
+		cfg := smallConfig(OpenLoop)
+		cfg.Faults = faults
+		if err := cfg.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted faults %+v", i, faults)
+		}
+	}
+	cfg := smallConfig(OpenLoop)
+	cfg.Faults = []Fault{
+		{Backend: 1, At: 0, RecoverAt: time.Second, Mode: Slow, Slowdown: 10},
+		{Backend: 0, At: 0, Mode: ErrRate, ErrRate: 0.25},
+		{Backend: 1, At: 0, RecoverAt: time.Second, Mode: Flap, FlapPeriod: 100 * time.Millisecond},
+	}
+	if err := cfg.withDefaults().Validate(); err != nil {
+		t.Fatalf("valid gray fault schedule rejected: %v", err)
+	}
+}
+
 func TestValidateFaults(t *testing.T) {
 	bad := [][]Fault{
 		{{Backend: 2, At: time.Second}},                                 // out of range

@@ -30,6 +30,7 @@ import (
 
 	"prord/internal/autoscale"
 	"prord/internal/health"
+	"prord/internal/httpfront"
 	"prord/internal/overload"
 	"prord/internal/policy"
 	"prord/internal/trace"
@@ -185,6 +186,15 @@ type Config struct {
 	// simulator run so shed counts and tier transitions can be compared.
 	// Nil disables both.
 	Overload *overload.Config
+
+	// Gray enables the front-end's gray-failure resilience layer
+	// (httpfront.Config.Gray): the relative latency-outlier detector
+	// with progressive session rebinding, plus optional hedged backup
+	// requests and per-request deadline budgets. With CompareSim the
+	// detector and hedging also drive the simulator's gray layer;
+	// deadlines are a live-transport concern with no sim counterpart.
+	// Nil disables the layer.
+	Gray *httpfront.GrayConfig
 
 	// Autoscale enables the front-end's elastic backend pool
 	// (httpfront.Config.Autoscale): Backends becomes the provisioned

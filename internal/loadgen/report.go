@@ -50,7 +50,11 @@ type configJSON struct {
 	// the pool is static so older artifacts are unchanged.
 	Autoscale   *autoscaleJSON `json:"autoscale,omitempty"`
 	ScaleEvents []scaleJSON    `json:"scale_events,omitempty"`
-	CompareSim  bool           `json:"compare_sim"`
+	// Gray echoes the effective (defaulted) gray-failure resilience
+	// configuration; omitted when the layer is off so older artifacts
+	// are unchanged.
+	Gray       *grayJSON `json:"gray,omitempty"`
+	CompareSim bool      `json:"compare_sim"`
 }
 
 // overloadJSON is the stable echo of the overload configuration.
@@ -78,17 +82,38 @@ type autoscaleJSON struct {
 	ColdJoin    bool  `json:"cold_join,omitempty"`
 }
 
+// grayJSON is the stable echo of the effective (defaulted)
+// gray-failure resilience configuration.
+type grayJSON struct {
+	Window        int     `json:"window"`
+	MinSamples    int     `json:"min_samples"`
+	Multiplier    float64 `json:"multiplier"`
+	HoldMS        int64   `json:"hold_ms"`
+	EjectMS       int64   `json:"eject_ms"`
+	MaxEjectMS    int64   `json:"max_eject_ms"`
+	RecoverHoldMS int64   `json:"recover_hold_ms"`
+	Hedge         bool    `json:"hedge"`
+	HedgeCap      int     `json:"hedge_cap,omitempty"`
+	DeadlineMS    int64   `json:"deadline_ms,omitempty"`
+}
+
 // scaleJSON is the stable echo of one scripted pool resize.
 type scaleJSON struct {
 	Delta int   `json:"delta"`
 	AtMS  int64 `json:"at_ms"`
 }
 
-// faultJSON is the stable echo of one scheduled backend outage.
+// faultJSON is the stable echo of one scheduled backend fault. The
+// gray-mode fields are omitted for fail-stop faults so pre-existing
+// artifacts stay byte-identical.
 type faultJSON struct {
-	Backend   int   `json:"backend"`
-	AtMS      int64 `json:"at_ms"`
-	RecoverMS int64 `json:"recover_ms,omitempty"`
+	Backend   int     `json:"backend"`
+	AtMS      int64   `json:"at_ms"`
+	RecoverMS int64   `json:"recover_ms,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
+	SlowdownX float64 `json:"slowdown_x,omitempty"`
+	ErrRate   float64 `json:"err_rate,omitempty"`
+	FlapMS    int64   `json:"flap_ms,omitempty"`
 }
 
 // Artifact assembles the versioned machine-readable artifact. Stamp and
@@ -117,6 +142,8 @@ func (r *Result) Artifact() *metrics.BenchArtifact {
 	for _, f := range r.Config.Faults {
 		cfg.Faults = append(cfg.Faults, faultJSON{
 			Backend: f.Backend, AtMS: f.At.Milliseconds(), RecoverMS: f.RecoverAt.Milliseconds(),
+			Mode: f.Mode.String(), SlowdownX: f.Slowdown, ErrRate: f.ErrRate,
+			FlapMS: f.FlapPeriod.Milliseconds(),
 		})
 	}
 	if oc := r.Config.Overload; oc != nil {
@@ -151,6 +178,25 @@ func (r *Result) Artifact() *metrics.BenchArtifact {
 	}
 	for _, e := range r.Config.ScaleEvents {
 		cfg.ScaleEvents = append(cfg.ScaleEvents, scaleJSON{Delta: e.Delta, AtMS: e.At.Milliseconds()})
+	}
+	if gc := r.Config.Gray; gc != nil {
+		det := gc.Detector.WithDefaults()
+		cap := gc.HedgeCap
+		if gc.Hedge && cap == 0 {
+			cap = 2
+		}
+		cfg.Gray = &grayJSON{
+			Window:        det.Window,
+			MinSamples:    det.MinSamples,
+			Multiplier:    det.Multiplier,
+			HoldMS:        det.Hold.Milliseconds(),
+			EjectMS:       det.Eject.Milliseconds(),
+			MaxEjectMS:    det.MaxEject.Milliseconds(),
+			RecoverHoldMS: det.RecoverHold.Milliseconds(),
+			Hedge:         gc.Hedge,
+			HedgeCap:      cap,
+			DeadlineMS:    gc.Deadline.Milliseconds(),
+		}
 	}
 	switch r.Config.Mode {
 	case OpenLoop:
@@ -207,6 +253,14 @@ func (r *Result) WriteTable(w io.Writer) error {
 		if as := run.Autoscale; as != nil && (as.Joins > 0 || as.Drains > 0) {
 			if _, err := fmt.Fprintf(w, "%-16s joins=%d drains=%d rebooked=%d final_size=%d\n",
 				"  autoscale", as.Joins, as.Drains, as.SessionsRebooked, as.FinalSize); err != nil {
+				return err
+			}
+		}
+		if g := run.Gray; g != nil && (g.Ejections > 0 || g.HedgesFired > 0) {
+			if _, err := fmt.Fprintf(w,
+				"%-16s ejections=%d recoveries=%d rebinds=%d hedges=%d/%d won cancels=%d\n",
+				"  gray", g.Ejections, g.Recoveries, g.GrayRebinds,
+				g.HedgeWins, g.HedgesFired, g.HedgeCancels); err != nil {
 				return err
 			}
 		}

@@ -291,6 +291,16 @@ func (h *Harness) reduce(polName string, c *liveCluster, live *liveStats) *metri
 			FinalSize:        ps.Size,
 		}
 	}
+	if g := c.dist.Gray(); g != nil {
+		run.Gray = &metrics.GraySummary{
+			Ejections:    g.Ejections,
+			Recoveries:   g.Recoveries,
+			GrayRebinds:  g.GrayRebinds,
+			HedgesFired:  g.HedgesFired,
+			HedgeWins:    g.HedgeWins,
+			HedgeCancels: g.HedgeCancels,
+		}
+	}
 
 	bh := c.dist.Health()
 	var hits, misses int64

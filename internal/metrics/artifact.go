@@ -35,12 +35,14 @@ type LatencySummary struct {
 	P50NS  int64 `json:"p50_ns"`
 	P90NS  int64 `json:"p90_ns"`
 	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
 	MeanUS int64 `json:"mean_us"`
 	MinUS  int64 `json:"min_us"`
 	MaxUS  int64 `json:"max_us"`
 	P50US  int64 `json:"p50_us"`
 	P90US  int64 `json:"p90_us"`
 	P99US  int64 `json:"p99_us"`
+	P999US int64 `json:"p999_us"`
 }
 
 // Summary reduces the histogram to its artifact form.
@@ -53,6 +55,7 @@ func (h *Histogram) Summary() LatencySummary {
 		P50NS:  h.Quantile(0.5).Nanoseconds(),
 		P90NS:  h.Quantile(0.9).Nanoseconds(),
 		P99NS:  h.Quantile(0.99).Nanoseconds(),
+		P999NS: h.Quantile(0.999).Nanoseconds(),
 	}
 	s.fillUS()
 	return s
@@ -66,10 +69,12 @@ func (s *LatencySummary) fillUS() {
 	s.P50US = s.P50NS / 1000
 	s.P90US = s.P90NS / 1000
 	s.P99US = s.P99NS / 1000
+	s.P999US = s.P999NS / 1000
 }
 
 // upgradeV1 reconstructs the nanosecond fields of a v1 summary from
-// its microsecond values (the best available resolution).
+// its microsecond values (the best available resolution). v1 never
+// recorded a p999, so that field stays zero rather than inventing one.
 func (s *LatencySummary) upgradeV1() {
 	s.MeanNS = s.MeanUS * 1000
 	s.MinNS = s.MinUS * 1000
@@ -77,6 +82,7 @@ func (s *LatencySummary) upgradeV1() {
 	s.P50NS = s.P50US * 1000
 	s.P90NS = s.P90US * 1000
 	s.P99NS = s.P99US * 1000
+	s.P999NS = s.P999US * 1000
 }
 
 // BackendSample is one backend's share of a benchmark run.
@@ -166,6 +172,25 @@ type AutoscaleSummary struct {
 	WarmColdDelta float64 `json:"warm_cold_delta,omitempty"`
 }
 
+// GraySummary is the gray-failure resilience block of a benchmark run:
+// what the latency-outlier detector did and how the hedging layer's
+// backup requests fared.
+type GraySummary struct {
+	// Ejections and Recoveries count detector transitions into and out
+	// of the Degraded state over the run.
+	Ejections  int64 `json:"ejections"`
+	Recoveries int64 `json:"recoveries"`
+	// GrayRebinds counts sessions moved off a degraded backend by the
+	// progressive rebind path (distinct from crash-driven failovers).
+	GrayRebinds int64 `json:"gray_rebinds"`
+	// HedgesFired counts backup requests launched after the hedge delay;
+	// HedgeWins counts backups that answered before their primary, and
+	// HedgeCancels counts backups canceled because the primary won.
+	HedgesFired  int64 `json:"hedges_fired"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	HedgeCancels int64 `json:"hedge_cancels"`
+}
+
 // BenchRun is one measured cell of a benchmark artifact (one policy on
 // one workload).
 type BenchRun struct {
@@ -223,6 +248,9 @@ type BenchRun struct {
 	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
 	// Autoscale holds the elastic-pool outcome when the run scaled.
 	Autoscale *AutoscaleSummary `json:"autoscale,omitempty"`
+	// Gray holds the gray-failure resilience outcome when the detection
+	// or hedging layer was enabled.
+	Gray *GraySummary `json:"gray,omitempty"`
 	// Backends holds per-backend request counts and hit rates in backend
 	// order.
 	Backends []BackendSample `json:"backends,omitempty"`
