@@ -26,21 +26,28 @@
 #   make race-grayfault  gray-failure resilience suite under the race
 #                detector (slow-backend ejection, hedge races and
 #                cancellation leaks, degraded-transition churn)
+#   make race-fleet  multi-distributor fleet suite under the race
+#                detector (ownership-handoff storm racing ring
+#                membership changes, gossip-merge churn, multi-replica
+#                spray affinity)
 #   make bench-smoke  dispatch decision-latency microbench plus a short
 #                live-cluster loadgen run over all policies, plus the
-#                autoscale artifact (scale-up latency, warm-vs-cold join)
-#                and the gray-fault artifact (p99 with the resilience
-#                layer off vs on under a slow=x10 backend)
+#                autoscale artifact (scale-up latency, warm-vs-cold join),
+#                the gray-fault artifact (p99 with the resilience
+#                layer off vs on under a slow=x10 backend) and the fleet
+#                artifact (decisions/sec, p99 and handoff rate at
+#                k ∈ {1,2,4} distributor replicas)
 #   make bench-gate  measure a fresh dispatch artifact and fail if its
 #                parallel decisions-per-second trendline regressed >15%
-#                against the committed BENCH_dispatch.baseline.json
+#                against the committed BENCH_dispatch.baseline.json;
+#                also prints the fleet k ∈ {1,2,4} rows ungated
 #   make bench-baseline  deliberately re-measure and overwrite the
 #                committed bench baseline — a reviewed act; never in CI
 #   make ci      the full gate CI runs on every push and PR
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault bench-smoke bench-gate bench-baseline ci
+.PHONY: build test race vet lint lint-baseline race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault race-fleet bench-smoke bench-gate bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -117,6 +124,18 @@ race-grayfault:
 	$(GO) test -race -count=2 -run 'Gray|Hedge|Degraded|Slow|Deadline' \
 		./internal/dispatch/ ./internal/httpfront/ ./internal/cluster/ ./internal/loadgen/
 
+# The multi-distributor fleet suite under the race detector: the ring
+# and gossip churn storms in internal/fleet, the core's ownership-
+# handoff storm (Route/Done/Rebook racing ring membership changes), the
+# live front-end's forward/gossip churn, the deterministic k-distributor
+# sim replay, and the multi-replica loadgen spray with its session-
+# affinity invariant. Already part of `make race`; this target runs it
+# alone, repeated, for hunting flakes in the fleet path.
+race-fleet:
+	$(GO) test -race -count=2 ./internal/fleet/
+	$(GO) test -race -count=2 -run 'Fleet|Ownership|Ring|Gossip' \
+		./internal/dispatch/ ./internal/httpfront/ ./internal/cluster/ ./internal/loadgen/
+
 # A ~30s benchmark pass: the decision core's Route/Done microbenchmarks
 # (with the latency distribution written as BENCH_dispatch.json in the
 # shared artifact schema), then open-loop load against 2 demo backends
@@ -133,6 +152,8 @@ bench-smoke:
 		-run TestAutoscaleBenchArtifact ./internal/cluster/
 	BENCH_GRAYFAULT_OUT=$(CURDIR)/BENCH_grayfault.json $(GO) test \
 		-run TestGrayFaultBenchArtifact ./internal/cluster/
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test \
+		-run TestFleetBenchArtifact ./internal/dispatch/
 
 # The dispatch throughput gate: measure a fresh artifact (same writer
 # bench-smoke uses) and compare its route-done-parallel throughput_rps
@@ -141,10 +162,12 @@ bench-smoke:
 # build; improvements pass and the baseline only moves via
 # `make bench-baseline`.
 bench-gate:
-	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.json $(GO) test \
-		-run TestDispatchBenchArtifact ./internal/dispatch/
+	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.json \
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test \
+		-run 'TestDispatchBenchArtifact|TestFleetBenchArtifact' ./internal/dispatch/
 	$(GO) run ./cmd/prord-benchgate -fresh BENCH_dispatch.json \
-		-baseline BENCH_dispatch.baseline.json -tolerance 15
+		-baseline BENCH_dispatch.baseline.json -tolerance 15 \
+		-fleet BENCH_fleet.json
 
 # Re-measuring the baseline resets the regression reference point: do it
 # only deliberately (after an accepted perf change or a hardware move)
@@ -154,4 +177,4 @@ bench-baseline:
 	BENCH_DISPATCH_OUT=$(CURDIR)/BENCH_dispatch.baseline.json $(GO) test \
 		-run TestDispatchBenchArtifact ./internal/dispatch/
 
-ci: build vet lint race race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault bench-gate
+ci: build vet lint race race-failover race-overload race-dispatch race-autoscale race-snapshot race-grayfault race-fleet bench-gate

@@ -29,6 +29,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_dispatch.baseline.json", "committed baseline artifact")
 	run := flag.String("run", "route-done-parallel", "run name to compare")
 	tolerance := flag.Float64("tolerance", 15, "allowed regression, percent")
+	fleetPath := flag.String("fleet", "", "fleet topology artifact (BENCH_fleet.json) to print, never gated")
 	flag.Parse()
 
 	if *tolerance < 0 || *tolerance >= 100 {
@@ -73,6 +74,45 @@ func main() {
 	// in the job log next to the gated throughput figure.
 	fmt.Printf("prord-benchgate: info %s: p999 %s vs baseline %s (not gated)\n",
 		*run, fmtP999(freshRun), fmtP999(baseRun))
+
+	// The fleet topology rows are informational only: forwarded
+	// decisions at k>1 measure a different code path (Owner lookup plus
+	// a cross-replica handoff) than the gated single-core trendline, so
+	// a regression there must be read against the forward rate, not
+	// gated mechanically. The k=1 control row prints alongside for the
+	// single-distributor comparison.
+	if *fleetPath != "" {
+		if err := printFleet(*fleetPath); err != nil {
+			fmt.Fprintf(os.Stderr, "prord-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// printFleet renders every run of a fleet artifact as ungated info
+// lines: decisions/sec, tail latency, and the handoff (forward) rate
+// the ring topology implies at that replica count.
+func printFleet(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	art, err := metrics.DecodeBenchArtifact(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range art.Runs {
+		r := &art.Runs[i]
+		line := fmt.Sprintf("prord-benchgate: info %s: %.0f decisions/s, p99 %dns",
+			r.Name, r.ThroughputRPS, r.Latency.P99NS)
+		if r.Fleet != nil {
+			line += fmt.Sprintf(", forward rate %.3f over %d replicas",
+				r.Fleet.ForwardRate, r.Fleet.Replicas)
+		}
+		fmt.Println(line + " (not gated)")
+	}
+	return nil
 }
 
 // fmtP999 renders a run's p999 for the informational line; v1-era

@@ -8,6 +8,7 @@ import (
 	"prord/internal/autoscale"
 	"prord/internal/cache"
 	"prord/internal/dispatch"
+	"prord/internal/fleet"
 	"prord/internal/metrics"
 	"prord/internal/mining"
 	"prord/internal/overload"
@@ -66,6 +67,17 @@ type Config struct {
 	// architecture). Connections stick to one distributor; dispatcher
 	// state is shared. 0 or 1 = the paper's single-front-end design.
 	Distributors int
+	// Fleet partitions session ownership across the Distributors
+	// front-end replicas: a consistent-hash ring over session keys picks
+	// each session's owning distributor, and a request whose L4-pinned
+	// ingress replica is not the owner pays Params.FleetForwardLatency
+	// and is served through the owner's front — the modeled counterpart
+	// of the live fleet's in-process ownership handoff. Dispatcher state
+	// stays shared: the simulator is the zero-staleness limit of the
+	// gossip layer, which is exactly what the live-vs-sim differential
+	// wants to compare against. With one distributor the ring has a
+	// single member and the run is bit-identical to Fleet=false.
+	Fleet bool
 	// CPUSharing switches the backend CPUs from FCFS to processor
 	// sharing (time-sliced web server workers); disks stay FCFS.
 	CPUSharing bool
@@ -148,6 +160,9 @@ type Cluster struct {
 	eng      *sim.Engine
 	backends []*backend
 	fronts   []*sim.FCFS
+	// ring is the fleet's session-ownership ring over distributor
+	// indices (nil unless Config.Fleet).
+	ring *fleet.Ring
 
 	core    *dispatch.Core
 	replmgr *replicate.Manager
@@ -214,6 +229,17 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Distributors; i++ {
 		c.fronts = append(c.fronts, sim.NewFCFS(c.eng))
+	}
+	if cfg.Fleet {
+		members := make([]int, cfg.Distributors)
+		for i := range members {
+			members[i] = i
+		}
+		ring, err := fleet.NewRing(members)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.ring = ring
 	}
 	for i := 0; i < cfg.Params.Backends; i++ {
 		var store cache.Store

@@ -58,6 +58,25 @@ type Result struct {
 	// Gray summarizes the gray-failure resilience layer (nil when
 	// Config.Gray is nil).
 	Gray *GrayResult
+	// Fleet summarizes the multi-distributor fleet (nil when Config.Fleet
+	// is off).
+	Fleet *FleetResult
+}
+
+// FleetResult is the partitioned-ownership fleet's run outcome.
+type FleetResult struct {
+	// Replicas is the distributor fleet size (ring membership).
+	Replicas int
+	// Forwards counts requests whose L4-pinned ingress distributor was
+	// not the session's ring owner and paid the forward hop.
+	Forwards int64
+	// ForwardRate is Forwards over completed requests. With k replicas
+	// and hash-pinned ingress it converges to (k-1)/k; a lower rate
+	// means ingress pinning and ring ownership agree more often.
+	ForwardRate float64
+	// RingEpoch is the ownership ring's final epoch (1 for a static
+	// membership).
+	RingEpoch uint64
 }
 
 // AutoscaleResult is the elastic pool's run outcome.
@@ -150,6 +169,17 @@ func (c *Cluster) result(tr *trace.Trace) *Result {
 			HedgeCancels: c.gray.hedgeCancels,
 			Backends:     d.Snapshot(),
 		}
+	}
+	if c.ring != nil {
+		fr := &FleetResult{
+			Replicas:  c.ring.Size(),
+			Forwards:  c.met.FleetForwards,
+			RingEpoch: c.ring.Epoch(),
+		}
+		if c.met.Completed > 0 {
+			fr.ForwardRate = float64(fr.Forwards) / float64(c.met.Completed)
+		}
+		res.Fleet = fr
 	}
 	for _, b := range c.backends {
 		res.Servers = append(res.Servers, ServerStats{

@@ -216,8 +216,19 @@ func (c *Cluster) routeRequest(tr *trace.Trace, s *session, r *trace.Request, is
 	if c.replmgr != nil {
 		c.replmgr.Ranker().Observe(r.Path)
 	}
-	// The L4 switch pins each connection to one distributor.
-	front := c.fronts[s.id%len(c.fronts)]
+	// The L4 switch pins each connection to one distributor; with the
+	// fleet ring on, a non-owner ingress replica forwards the request to
+	// the session's owning distributor (one modeled internal hop) and
+	// the owner's front does the per-request work.
+	ingress := s.id % len(c.fronts)
+	front := c.fronts[ingress]
+	if c.ring != nil {
+		if owner := c.ring.Owner(s.key); owner != ingress {
+			c.met.FleetForwards++
+			cost += c.cfg.Params.FleetForwardLatency
+			front = c.fronts[owner]
+		}
+	}
 	front.Schedule(cost, func(_, _ time.Duration) {
 		c.arriveAtBackend(tr, s, r, out, issued, race)
 	})

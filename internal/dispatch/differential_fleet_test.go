@@ -1,0 +1,28 @@
+package dispatch_test
+
+// Differential regression for the fleet refactor: a fleet of size one
+// must be invisible. The replay harness from the snapshot differential
+// runs with a single-member ownership ring and the adapter's
+// per-request Owner check, and the resulting decision stream must
+// digest to the same golden FNV constants the pre-fleet path produced —
+// same Seq numbering, same routing, same plans, same tier reads.
+
+import (
+	"testing"
+)
+
+// TestFleetSingleReplicaDecisionStreamGolden pins the k=1 fleet path to
+// the pre-fleet decision stream, plain and under the overload ladder.
+func TestFleetSingleReplicaDecisionStreamGolden(t *testing.T) {
+	if got := replayDigest(t, replayConfig{fleet: true}); got != goldenPlainDigest {
+		t.Errorf("k=1 fleet digest = %#x, want %#x (ownership ring changed the decision stream)",
+			got, goldenPlainDigest)
+	}
+	if got := replayDigest(t, replayConfig{fleet: true, overload: hairTriggerOverload()}); got != goldenOverloadDigest {
+		t.Errorf("k=1 fleet overload digest = %#x, want %#x (ownership ring changed the tiered decision stream)",
+			got, goldenOverloadDigest)
+	}
+	if got := replayDigest(t, replayConfig{fleet: true, refreshEvery: 1}); got != goldenPlainDigest {
+		t.Errorf("k=1 fleet batched-mining digest = %#x, want %#x", got, goldenPlainDigest)
+	}
+}

@@ -1,0 +1,102 @@
+package dispatch
+
+import "prord/internal/trace"
+
+// This file is the core's fleet face: explicit session ownership over
+// a consistent-hash ring (internal/fleet) plus the entry points gossip
+// uses to fold peers' shared state into this replica. The core itself
+// stays transport-free — forwarding a foreign session to its owner is
+// the adapter's job (in-process handler call in httpfront, a modeled
+// hop in the simulator); the core only answers "whose session is
+// this?" and keeps the accounting honest.
+
+// Owner reports the ring's owning replica for a session key and
+// whether that is this core. Without a ring every key is owned here —
+// and so is every key on a single-member ring, making the k=1 fleet
+// bit-identical to the single-distributor path. Lock-free.
+func (c *Core) Owner(key string) (owner int, owned bool) {
+	if c.cfg.Ring == nil {
+		return c.cfg.ReplicaID, true
+	}
+	owner = c.cfg.Ring.Owner(key)
+	return owner, owner == c.cfg.ReplicaID
+}
+
+// RingEpoch returns the ownership ring's epoch (0 without a ring).
+// Lock-free.
+func (c *Core) RingEpoch() uint64 {
+	if c.cfg.Ring == nil {
+		return 0
+	}
+	return c.cfg.Ring.Epoch()
+}
+
+// ReplicaID returns this core's fleet replica id (0 without a ring).
+func (c *Core) ReplicaID() int { return c.cfg.ReplicaID }
+
+// NoteFleetForward accounts one request handed to its owning replica,
+// and releases any stale local session state the ring reassigned away:
+// if this replica still tracks the key — it owned the session before a
+// membership change — and the session is idle, the binding is dropped
+// and counted as an ownership rebind (the owner re-binds it through
+// its own routing path). A busy session keeps its state until its
+// in-flight requests drain; idle eviction collects it later.
+func (c *Core) NoteFleetForward(key string) (rebound bool) {
+	c.stats.fleetForwards.Add(1)
+	sh := c.sessionShardFor(key)
+	sh.mu.Lock()
+	st, ok := sh.byKey[key]
+	if ok && st.active == 0 {
+		delete(sh.byKey, key)
+		delete(sh.byID, st.id)
+	} else {
+		ok = false
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.closeIDs([]int{st.id})
+		if st.hasSrv {
+			c.stats.ownershipRebinds.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// NoteRemoteLocality folds one gossiped locality delta into the
+// optimistic locality map: a peer replica routed path to the backend,
+// so its cache holds the file hot — this replica's policies should see
+// that without paying a cold miss first. Prefetch marks are left alone
+// (the peer's demand serve already consumed its own); exact mode
+// ignores the hint because residency there is adapter ground truth.
+// Takes only the file-shard leaf lock, like the Route booking path.
+func (c *Core) NoteRemoteLocality(server int, path string) {
+	if c.cfg.Exact || server < 0 || server >= c.cfg.Backends {
+		return
+	}
+	if trace.IsDynamicPath(path) {
+		return
+	}
+	f := c.fileShardFor(path)
+	f.mu.Lock()
+	f.locality[server].Insert(path, 1)
+	f.mu.Unlock()
+}
+
+// OwnedSessions counts the tracked sessions the ring assigns to this
+// replica (all of them without a ring). It locks every session shard
+// in turn; observability only, not for hot paths.
+func (c *Core) OwnedSessions() int {
+	n := 0
+	for i := range c.ssh {
+		sh := &c.ssh[i]
+		sh.mu.Lock()
+		for key := range sh.byKey {
+			if _, owned := c.Owner(key); owned {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package dispatch_test
+
+// TestFleetBenchArtifact writes BENCH_fleet.json: the decision-path
+// cost of the fleet topology at k ∈ {1, 2, 4} replicas, on the shared
+// prord-bench/2 schema. Each cell builds k cores over one consistent-
+// hash ring and replays the same request mix through the full ingress
+// path a fleet front-end pays per request: an Owner() lookup at the
+// ingress replica, then — for the ~(k-1)/k of keys the ring assigns
+// elsewhere — NoteFleetForward at the ingress plus Route/Done at the
+// owning core. The k=1 cell is the single-distributor control: zero
+// forwards, and its throughput is directly comparable to the
+// BENCH_dispatch route-done trendline.
+//
+// Gated on BENCH_FLEET_OUT (the `make bench-smoke` path) so plain
+// `go test ./...` stays free of file side effects. benchgate prints
+// the k>1 rows ungated — forwarded decisions measure a different
+// code path than the gated single-core trendline.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"prord/internal/dispatch"
+	"prord/internal/fleet"
+	"prord/internal/metrics"
+	"prord/internal/policy"
+)
+
+func TestFleetBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("BENCH_FLEET_OUT not set")
+	}
+	const samples = 200000
+	paths := benchPaths(512)
+	keys := benchKeys(256)
+	now := time.Unix(0, 0)
+
+	art := metrics.BenchArtifact{
+		Tool: "fleet-bench",
+		Config: map[string]any{
+			"backends": 8,
+			"policy":   "PRORD",
+			"samples":  samples,
+			"fleet_ks": []int{1, 2, 4},
+		},
+	}
+	for _, k := range []int{1, 2, 4} {
+		members := make([]int, k)
+		for i := range members {
+			members[i] = i
+		}
+		ring, err := fleet.NewRing(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores := make([]*dispatch.Core, k)
+		for i := range cores {
+			cores[i], err = dispatch.New(dispatch.Config{
+				Backends:  8,
+				Policy:    policy.NewPRORD(policy.Thresholds{}),
+				Ring:      ring,
+				ReplicaID: i,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var hist metrics.Histogram
+		var forwards int64
+		start := time.Now()
+		for i := 0; i < samples; i++ {
+			key, path := keys[i%len(keys)], paths[i%len(paths)]
+			ingress := cores[i%k]
+			reqStart := time.Now()
+			owner, owned := ingress.Owner(key)
+			if !owned {
+				// The in-process analogue of httpfront's one-hop
+				// forward: account the handoff at the ingress, decide
+				// at the owner.
+				ingress.NoteFleetForward(key)
+				forwards++
+			}
+			o := cores[owner].Route(key, path, 4096, now)
+			cores[owner].Done(key, o.Server, path, false, false)
+			hist.Observe(time.Since(reqStart))
+		}
+		elapsed := time.Since(start)
+
+		var requests int64
+		rebinds := int64(0)
+		for _, c := range cores {
+			st := c.Stats()
+			requests += st.Requests
+			rebinds += st.OwnershipRebinds
+		}
+		if requests != samples {
+			t.Fatalf("k=%d: cores served %d requests, want %d", k, requests, samples)
+		}
+		art.Runs = append(art.Runs, metrics.BenchRun{
+			Name:          fmt.Sprintf("fleet-k%d", k),
+			Requests:      requests,
+			ThroughputRPS: metrics.Round(float64(samples)/elapsed.Seconds(), 1),
+			Latency:       hist.Summary(),
+			Fleet: &metrics.FleetSummary{
+				Replicas:         k,
+				RingEpoch:        ring.Epoch(),
+				Forwards:         forwards,
+				ForwardRate:      metrics.Round(float64(forwards)/float64(samples), 3),
+				OwnershipRebinds: rebinds,
+			},
+		})
+	}
+	// The k=1 control must never forward: a single-member ring owns
+	// every key, keeping the cell comparable to the dispatch trendline.
+	if f := art.Runs[0].Fleet; f.Forwards != 0 {
+		t.Fatalf("k=1 cell forwarded %d requests, want 0", f.Forwards)
+	}
+
+	art.Stamp(time.Now())
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := art.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range art.Runs {
+		t.Logf("%s: %.0f decisions/s p99=%dns forward_rate=%.3f",
+			r.Name, r.ThroughputRPS, r.Latency.P99NS, r.Fleet.ForwardRate)
+	}
+}

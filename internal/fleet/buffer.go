@@ -1,0 +1,71 @@
+package fleet
+
+import "sync"
+
+// Buffer accumulates one replica's outbound gossip deltas between
+// digest publishes: the locality learnings and rank observations its
+// own routing produced. The front-end notes into it on the serving
+// path, the gossip loop drains it per tick, and both sides stay cheap —
+// the mutex is a leaf (ranked in the prordlint lockorder hierarchy)
+// held only for an append or a slice swap, never across a call.
+//
+// The buffer is bounded: past the cap, the oldest deltas drop first.
+// Dropping is safe for both fields — locality is a hint and ranks are
+// statistical — and the cap turns a stalled gossip loop into bounded
+// memory instead of unbounded growth.
+type Buffer struct {
+	mu    sync.Mutex
+	loc   []LocalityDelta
+	ranks []string
+	cap   int
+}
+
+// defaultBufferCap bounds each field's pending deltas per publish
+// interval. At gossip's default 250ms tick this absorbs ~16k decisions
+// per second per field before dropping.
+const defaultBufferCap = 4096
+
+// NewBuffer builds a buffer; cap <= 0 selects the default bound.
+func NewBuffer(cap int) *Buffer {
+	if cap <= 0 {
+		cap = defaultBufferCap
+	}
+	return &Buffer{cap: cap}
+}
+
+// NoteLocality records one locality learning: this replica routed path
+// to backend server.
+func (b *Buffer) NoteLocality(server int, path string) {
+	b.mu.Lock()
+	if len(b.loc) >= b.cap {
+		b.loc = b.loc[1:]
+	}
+	b.loc = append(b.loc, LocalityDelta{Server: server, Path: path})
+	b.mu.Unlock()
+}
+
+// NoteRank records one served path for the peers' rank folds.
+func (b *Buffer) NoteRank(path string) {
+	b.mu.Lock()
+	if len(b.ranks) >= b.cap {
+		b.ranks = b.ranks[1:]
+	}
+	b.ranks = append(b.ranks, path)
+	b.mu.Unlock()
+}
+
+// Drain takes and clears the pending deltas.
+func (b *Buffer) Drain() (loc []LocalityDelta, ranks []string) {
+	b.mu.Lock()
+	loc, b.loc = b.loc, nil
+	ranks, b.ranks = b.ranks, nil
+	b.mu.Unlock()
+	return loc, ranks
+}
+
+// Pending returns the buffered delta counts.
+func (b *Buffer) Pending() (loc, ranks int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.loc), len(b.ranks)
+}

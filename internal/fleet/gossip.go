@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Field identifies one gossiped shared-state field. The three fields
+// are exactly the state a session-ownership ring cannot partition:
+// which backend holds which file (locality), which files are popular
+// (replication ranks) and which backends are misbehaving (health
+// verdicts).
+type Field int
+
+const (
+	// FieldLocality carries optimistic locality learnings: replica R
+	// routed path P to backend B, so B now holds P hot.
+	FieldLocality Field = iota
+	// FieldRanks carries served-path observations for the popularity
+	// rank table's incremental folds.
+	FieldRanks
+	// FieldHealth carries per-backend breaker and Degraded verdicts.
+	FieldHealth
+	numFields
+)
+
+// String returns the field's lower-case name.
+func (f Field) String() string {
+	switch f {
+	case FieldLocality:
+		return "locality"
+	case FieldRanks:
+		return "ranks"
+	case FieldHealth:
+		return "health"
+	}
+	return "unknown"
+}
+
+// Bounds are the per-field staleness bounds: a peer's field older than
+// its bound at merge time is ignored rather than applied. The bounds
+// encode how wrong each field may safely be — locality is a routing
+// hint (a miss costs one disk read), ranks converge slowly anyway, and
+// health verdicts go stale dangerously fast (a recovered backend must
+// not stay excluded on old gossip).
+type Bounds struct {
+	// Locality bounds locality-delta age. Default 5s.
+	Locality time.Duration
+	// Ranks bounds rank-observation age. Default 30s.
+	Ranks time.Duration
+	// Health bounds breaker/Degraded verdict age. Default 2s.
+	Health time.Duration
+}
+
+// WithDefaults returns the bounds with zero fields defaulted.
+func (b Bounds) WithDefaults() Bounds {
+	if b.Locality <= 0 {
+		b.Locality = 5 * time.Second
+	}
+	if b.Ranks <= 0 {
+		b.Ranks = 30 * time.Second
+	}
+	if b.Health <= 0 {
+		b.Health = 2 * time.Second
+	}
+	return b
+}
+
+// bound returns one field's staleness bound.
+func (b Bounds) bound(f Field) time.Duration {
+	switch f {
+	case FieldLocality:
+		return b.Locality
+	case FieldRanks:
+		return b.Ranks
+	case FieldHealth:
+		return b.Health
+	}
+	return 0
+}
+
+// LocalityDelta is one optimistic locality learning: the publishing
+// replica routed Path to backend Server, so Server holds it hot.
+type LocalityDelta struct {
+	Server int
+	Path   string
+}
+
+// Digest is one replica's published state snapshot: the deltas it
+// accumulated since its previous publish plus its current health
+// verdicts. Seq is the replica's publish counter; a receiver applies
+// each Seq at most once (the Merger's watermark), so deltas never
+// double-apply. A skipped Seq loses that publish's deltas — gossip is
+// best-effort within the staleness bounds, and every field tolerates
+// loss: locality is a hint, ranks are statistical, health is
+// re-published whole on every digest.
+type Digest struct {
+	// Replica is the publishing replica's id.
+	Replica int
+	// Seq is the publisher's digest counter, strictly increasing.
+	Seq uint64
+	// Locality holds the optimistic locality deltas since the previous
+	// publish, in routing order.
+	Locality []LocalityDelta
+	// LocalityAt stamps the Locality field's freshness.
+	LocalityAt time.Time
+	// Ranks holds the served paths observed since the previous publish.
+	Ranks []string
+	// RanksAt stamps the Ranks field's freshness.
+	RanksAt time.Time
+	// Degraded and BreakerOpen are the publisher's current per-backend
+	// verdicts (full state, not deltas: verdicts flap, so the latest
+	// publish always supersedes).
+	Degraded    []bool
+	BreakerOpen []bool
+	// HealthAt stamps the health verdicts' freshness.
+	HealthAt time.Time
+}
+
+// Exchanger is the in-process digest mesh: every replica publishes its
+// latest digest and reads every other replica's. It stands in for a
+// network gossip transport — the merge semantics (Merger) are
+// transport-agnostic, so swapping this for UDP datagrams or an HTTP
+// exchange endpoint later changes no reconciliation logic. The mutex
+// is a leaf (ranked in the prordlint lockorder hierarchy): Publish and
+// Digests copy in and out under it and never call anything.
+type Exchanger struct {
+	mu     sync.Mutex
+	latest map[int]Digest
+}
+
+// NewExchanger builds an empty mesh.
+func NewExchanger() *Exchanger {
+	return &Exchanger{latest: make(map[int]Digest)}
+}
+
+// Publish stores a replica's newest digest, superseding its previous
+// one. Digests arriving out of order (Seq lower than the stored one)
+// are dropped.
+func (e *Exchanger) Publish(d Digest) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.latest[d.Replica]; ok && cur.Seq >= d.Seq {
+		return
+	}
+	e.latest[d.Replica] = d
+}
+
+// Digests returns every replica's latest digest in ascending replica-id
+// order — the deterministic merge order Merger relies on.
+func (e *Exchanger) Digests() []Digest {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Digest, 0, len(e.latest))
+	for _, d := range e.latest {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// Apply receives the merged remote state. Merger invokes the callbacks
+// with no fleet lock held, so they may take the dispatch core's leaf
+// locks (NoteRemoteLocality, ObserveRank) without adding edges to the
+// lock hierarchy.
+type Apply struct {
+	// Locality receives each fresh locality delta, in publish order
+	// within a digest and ascending replica order across digests.
+	Locality func(d LocalityDelta)
+	// Ranks receives each fresh served-path observation, same order.
+	Ranks func(path string)
+	// Health receives one peer's current verdicts (slices are the
+	// digest's own; treat as read-only).
+	Health func(replica int, degraded, breakerOpen []bool)
+}
+
+// MergeStats summarizes one merge pass.
+type MergeStats struct {
+	// Applied counts digests with at least one field applied.
+	Applied int
+	// Skipped counts digests dropped by the Seq watermark (already
+	// applied, or the merger's own replica).
+	Skipped int
+	// StaleFields counts fields dropped by their staleness bound.
+	StaleFields int
+	// Locality, Ranks count individual deltas applied.
+	Locality, Ranks int
+}
+
+// Merger reconciles peers' digests into local state, exactly once per
+// (replica, Seq) and only within the staleness bounds. Merge order is
+// deterministic — ascending replica id — so two replicas holding the
+// same digest set reach the same merged state. The mutex is a leaf
+// guarding only the watermark and freshness tables; the Apply
+// callbacks run outside it.
+type Merger struct {
+	self   int
+	bounds Bounds
+
+	mu     sync.Mutex
+	seen   map[int]uint64               // replica -> last applied Seq
+	lastAt map[int][numFields]time.Time // replica -> freshness per applied field
+}
+
+// NewMerger builds a merger for the replica with id self; digests
+// published by self are skipped (local state is already current).
+func NewMerger(self int, bounds Bounds) *Merger {
+	return &Merger{
+		self:   self,
+		bounds: bounds.WithDefaults(),
+		seen:   make(map[int]uint64),
+		lastAt: make(map[int][numFields]time.Time),
+	}
+}
+
+// Merge applies every fresh, in-bounds digest field through ap and
+// advances the watermarks. Safe for concurrent use, though gossip loops
+// conventionally call it from one goroutine per replica.
+func (m *Merger) Merge(now time.Time, digests []Digest, ap Apply) MergeStats {
+	var st MergeStats
+	// Watermark pass under the leaf lock: pick the digests to apply and
+	// advance seen/lastAt. The callbacks run after release so they may
+	// take dispatch-core leaf locks freely.
+	m.mu.Lock()
+	fresh := make([]Digest, 0, len(digests))
+	for _, d := range digests {
+		if d.Replica == m.self || m.seen[d.Replica] >= d.Seq {
+			st.Skipped++
+			continue
+		}
+		m.seen[d.Replica] = d.Seq
+		at := m.lastAt[d.Replica]
+		keep := d
+		if now.Sub(d.LocalityAt) > m.bounds.bound(FieldLocality) {
+			keep.Locality = nil
+			st.StaleFields++
+		} else {
+			at[FieldLocality] = d.LocalityAt
+		}
+		if now.Sub(d.RanksAt) > m.bounds.bound(FieldRanks) {
+			keep.Ranks = nil
+			st.StaleFields++
+		} else {
+			at[FieldRanks] = d.RanksAt
+		}
+		if now.Sub(d.HealthAt) > m.bounds.bound(FieldHealth) {
+			keep.Degraded, keep.BreakerOpen = nil, nil
+			st.StaleFields++
+		} else {
+			at[FieldHealth] = d.HealthAt
+		}
+		m.lastAt[d.Replica] = at
+		fresh = append(fresh, keep)
+	}
+	m.mu.Unlock()
+
+	for _, d := range fresh {
+		applied := false
+		if ap.Locality != nil {
+			for _, dl := range d.Locality {
+				ap.Locality(dl)
+				st.Locality++
+				applied = true
+			}
+		}
+		if ap.Ranks != nil {
+			for _, p := range d.Ranks {
+				ap.Ranks(p)
+				st.Ranks++
+				applied = true
+			}
+		}
+		if ap.Health != nil && (d.Degraded != nil || d.BreakerOpen != nil) {
+			ap.Health(d.Replica, d.Degraded, d.BreakerOpen)
+			applied = true
+		}
+		if applied {
+			st.Applied++
+		}
+	}
+	return st
+}
+
+// Staleness returns, per field, the age of the oldest applied peer
+// state (zero with no peers applied yet) — the /_prord/cluster fleet
+// block's per-field staleness figures.
+func (m *Merger) Staleness(now time.Time) map[string]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]time.Duration, int(numFields))
+	for f := Field(0); f < numFields; f++ {
+		var worst time.Duration
+		for _, at := range m.lastAt {
+			if at[f].IsZero() {
+				continue
+			}
+			if age := now.Sub(at[f]); age > worst {
+				worst = age
+			}
+		}
+		out[f.String()] = worst
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// t0 is the virtual origin every gossip test advances from; the package
+// is clock-injected, so tests never read the wall clock.
+var t0 = time.Time{}.Add(time.Hour)
+
+func digestAt(replica int, seq uint64, at time.Time) Digest {
+	return Digest{
+		Replica:    replica,
+		Seq:        seq,
+		Locality:   []LocalityDelta{{Server: replica, Path: fmt.Sprintf("/p%d.html", seq)}},
+		LocalityAt: at,
+		Ranks:      []string{fmt.Sprintf("/p%d.html", seq)},
+		RanksAt:    at,
+		Degraded:   []bool{false, replica == 1},
+		HealthAt:   at,
+	}
+}
+
+func TestBoundsDefaults(t *testing.T) {
+	b := Bounds{}.WithDefaults()
+	if b.Locality != 5*time.Second || b.Ranks != 30*time.Second || b.Health != 2*time.Second {
+		t.Fatalf("unexpected defaults: %+v", b)
+	}
+	keep := Bounds{Locality: time.Second, Ranks: time.Minute, Health: 100 * time.Millisecond}
+	if got := keep.WithDefaults(); got != keep {
+		t.Fatalf("explicit bounds changed by WithDefaults: %+v", got)
+	}
+}
+
+func TestExchangerSupersedes(t *testing.T) {
+	ex := NewExchanger()
+	ex.Publish(digestAt(0, 1, t0))
+	ex.Publish(digestAt(0, 3, t0))
+	ex.Publish(digestAt(0, 2, t0)) // out of order: dropped
+	ex.Publish(digestAt(2, 1, t0))
+	ex.Publish(digestAt(1, 1, t0))
+	ds := ex.Digests()
+	if len(ds) != 3 {
+		t.Fatalf("got %d digests, want 3", len(ds))
+	}
+	for i, want := range []int{0, 1, 2} {
+		if ds[i].Replica != want {
+			t.Fatalf("digest order %v not ascending by replica", ds)
+		}
+	}
+	if ds[0].Seq != 3 {
+		t.Fatalf("replica 0's digest Seq = %d, want the superseding 3", ds[0].Seq)
+	}
+}
+
+func TestMergerWatermarkAndSelfSkip(t *testing.T) {
+	m := NewMerger(0, Bounds{})
+	var locs, ranks int
+	ap := Apply{
+		Locality: func(LocalityDelta) { locs++ },
+		Ranks:    func(string) { ranks++ },
+	}
+	ds := []Digest{digestAt(0, 1, t0), digestAt(1, 1, t0)}
+	st := m.Merge(t0, ds, ap)
+	if st.Applied != 1 || st.Skipped != 1 {
+		t.Fatalf("first merge: %+v, want 1 applied (peer) and 1 skipped (self)", st)
+	}
+	if locs != 1 || ranks != 1 {
+		t.Fatalf("callbacks saw locs=%d ranks=%d, want 1/1", locs, ranks)
+	}
+	// Replaying the same digests must apply nothing: the watermark holds.
+	st = m.Merge(t0, ds, ap)
+	if st.Applied != 0 || st.Skipped != 2 || locs != 1 || ranks != 1 {
+		t.Fatalf("replay merged again: %+v locs=%d ranks=%d", st, locs, ranks)
+	}
+	// A newer Seq from the peer applies once more.
+	st = m.Merge(t0, []Digest{digestAt(1, 2, t0)}, ap)
+	if st.Applied != 1 || locs != 2 {
+		t.Fatalf("fresh Seq not applied: %+v locs=%d", st, locs)
+	}
+}
+
+func TestMergerStalenessBounds(t *testing.T) {
+	b := Bounds{Locality: time.Second, Ranks: 10 * time.Second, Health: 500 * time.Millisecond}
+	m := NewMerger(0, b)
+	var locs, ranks, healths int
+	ap := Apply{
+		Locality: func(LocalityDelta) { locs++ },
+		Ranks:    func(string) { ranks++ },
+		Health:   func(int, []bool, []bool) { healths++ },
+	}
+	// Published 2s ago: locality and health out of bounds, ranks in.
+	st := m.Merge(t0.Add(2*time.Second), []Digest{digestAt(1, 1, t0)}, ap)
+	if st.StaleFields != 2 {
+		t.Fatalf("StaleFields = %d, want 2 (locality, health)", st.StaleFields)
+	}
+	if locs != 0 || healths != 0 || ranks != 1 {
+		t.Fatalf("stale fields applied: locs=%d healths=%d ranks=%d", locs, healths, ranks)
+	}
+	stale := m.Staleness(t0.Add(3 * time.Second))
+	if stale["ranks"] != 3*time.Second {
+		t.Fatalf("ranks staleness = %v, want 3s", stale["ranks"])
+	}
+	if stale["locality"] != 0 || stale["health"] != 0 {
+		t.Fatalf("never-applied fields should report zero staleness: %v", stale)
+	}
+}
+
+// TestMergerDeterministicOrder pins the merge order — ascending replica
+// id, publish order within a digest — that makes two replicas holding
+// the same digest set converge to the same state.
+func TestMergerDeterministicOrder(t *testing.T) {
+	mergeOrder := func(ds []Digest) []string {
+		m := NewMerger(9, Bounds{})
+		var got []string
+		m.Merge(t0, ds, Apply{Locality: func(d LocalityDelta) { got = append(got, d.Path) }})
+		return got
+	}
+	a := Digest{Replica: 2, Seq: 1, LocalityAt: t0,
+		Locality: []LocalityDelta{{0, "/c.html"}, {0, "/d.html"}}}
+	b := Digest{Replica: 1, Seq: 1, LocalityAt: t0,
+		Locality: []LocalityDelta{{0, "/a.html"}, {0, "/b.html"}}}
+	// The Exchanger sorts ascending; feed Merge that order both times.
+	ex := NewExchanger()
+	ex.Publish(a)
+	ex.Publish(b)
+	first := mergeOrder(ex.Digests())
+	ex2 := NewExchanger()
+	ex2.Publish(b)
+	ex2.Publish(a)
+	second := mergeOrder(ex2.Digests())
+	want := []string{"/a.html", "/b.html", "/c.html", "/d.html"}
+	for i := range want {
+		if first[i] != want[i] || second[i] != want[i] {
+			t.Fatalf("merge order not deterministic: %v vs %v, want %v", first, second, want)
+		}
+	}
+}
+
+func TestBufferDrainAndCap(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.NoteLocality(i, fmt.Sprintf("/f%d", i))
+		b.NoteRank(fmt.Sprintf("/f%d", i))
+	}
+	if nl, nr := b.Pending(); nl != 3 || nr != 3 {
+		t.Fatalf("Pending = %d/%d, want cap 3/3", nl, nr)
+	}
+	loc, ranks := b.Drain()
+	if len(loc) != 3 || loc[0].Path != "/f2" || loc[2].Path != "/f4" {
+		t.Fatalf("drop-oldest violated: %v", loc)
+	}
+	if len(ranks) != 3 || ranks[0] != "/f2" {
+		t.Fatalf("drop-oldest violated for ranks: %v", ranks)
+	}
+	if nl, nr := b.Pending(); nl != 0 || nr != 0 {
+		t.Fatalf("buffer not empty after Drain: %d/%d", nl, nr)
+	}
+}

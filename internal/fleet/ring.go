@@ -1,0 +1,197 @@
+// Package fleet turns one PRORD distributor into a fleet of them: N
+// front-end replicas sharing one backend pool. It owns the two
+// mechanisms the topology needs and nothing else — both transport-free
+// and clock-injected, in the style of internal/dispatch:
+//
+//   - Ring: a consistent-hash ring over session keys that makes session
+//     ownership explicit. Each session has exactly one owning replica;
+//     a request landing elsewhere is forwarded one hop (the adapters'
+//     job) or, after a membership change, re-bound. Reads are lock-free
+//     (one atomic snapshot load, binary search); membership changes are
+//     rare copy-update-publish writes, exactly like the dispatch core's
+//     decision snapshots.
+//
+//   - Gossip: a digest-exchange layer (Digest, Exchanger, Merger,
+//     Buffer) that reconciles the shared state a ring cannot partition —
+//     optimistic locality learnings, replication-rank observations and
+//     breaker/Degraded health verdicts — between replicas, with
+//     per-field staleness bounds and a deterministic merge order.
+//
+// No method in this package reads the wall clock; callers pass now in
+// (the clockflow analyzer enforces this, same as for the dispatch
+// core), so the simulator can drive a fleet on virtual time.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultVnodes is the virtual-node count per replica. 64 points per
+// member keeps the ownership split within a few percent of even for
+// small fleets while SetMembers stays cheap (it runs on membership
+// changes, not requests).
+const defaultVnodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash    uint32
+	replica int
+}
+
+// ringSnapshot is one immutable published ring state. Owner loads it
+// with a single atomic pointer read; SetMembers builds a fresh one and
+// publishes it (RCU), so lookups never block on membership changes.
+type ringSnapshot struct {
+	// epoch counts publishes, starting at 1 for the ring New builds.
+	epoch   uint64
+	members []int
+	// points is sorted by hash; ties broken by ascending replica id so
+	// the ring is a pure function of the member set.
+	points []point
+	// single short-circuits the k=1 fleet: every key is owned by the
+	// sole member, bit-identical to having no ring at all. -1 otherwise.
+	single int
+}
+
+// Ring assigns every session key an owning replica by consistent
+// hashing. Safe for concurrent use: Owner and Epoch are lock-free;
+// SetMembers serializes writers under mu (ranked in the prordlint
+// lockorder hierarchy) and publishes atomically.
+type Ring struct {
+	mu   sync.Mutex // serializes membership writers
+	snap atomic.Pointer[ringSnapshot]
+}
+
+// NewRing builds a ring over the given replica ids (deduplicated,
+// order-insensitive). At least one member is required.
+func NewRing(members []int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one member")
+	}
+	r := &Ring{}
+	r.snap.Store(buildRing(1, members))
+	return r, nil
+}
+
+// SetMembers publishes a new member set and bumps the ring epoch.
+// Lookups in flight keep the snapshot they loaded; sessions whose owner
+// moved re-bind on their next touch (dispatch.Core.NoteFleetForward).
+func (r *Ring) SetMembers(members []int) error {
+	if len(members) == 0 {
+		return fmt.Errorf("fleet: ring needs at least one member")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	r.snap.Store(buildRing(cur.epoch+1, members))
+	return nil
+}
+
+// Owner returns the replica owning key. Lock-free.
+func (r *Ring) Owner(key string) int {
+	s := r.snap.Load()
+	if s.single >= 0 {
+		return s.single
+	}
+	h := hashKey(key)
+	// First point clockwise from h; wrap to the first point.
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].hash >= h })
+	if i == len(s.points) {
+		i = 0
+	}
+	return s.points[i].replica
+}
+
+// OwnerEpoch returns the owner plus the epoch of the ring state that
+// produced it, so callers can detect membership changes between two
+// lookups. Lock-free.
+func (r *Ring) OwnerEpoch(key string) (owner int, epoch uint64) {
+	s := r.snap.Load()
+	if s.single >= 0 {
+		return s.single, s.epoch
+	}
+	h := hashKey(key)
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].hash >= h })
+	if i == len(s.points) {
+		i = 0
+	}
+	return s.points[i].replica, s.epoch
+}
+
+// Epoch returns the published ring state's epoch: 1 after NewRing, +1
+// per SetMembers. Lock-free.
+func (r *Ring) Epoch() uint64 { return r.snap.Load().epoch }
+
+// Members returns the current member set, ascending. Lock-free; the
+// slice is a copy.
+func (r *Ring) Members() []int {
+	s := r.snap.Load()
+	out := make([]int, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Size returns the current member count. Lock-free.
+func (r *Ring) Size() int { return len(r.snap.Load().members) }
+
+// buildRing assembles an immutable snapshot for a member set.
+func buildRing(epoch uint64, members []int) *ringSnapshot {
+	uniq := make([]int, 0, len(members))
+	seen := make(map[int]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Ints(uniq)
+	s := &ringSnapshot{epoch: epoch, members: uniq, single: -1}
+	if len(uniq) == 1 {
+		s.single = uniq[0]
+		return s
+	}
+	s.points = make([]point, 0, len(uniq)*defaultVnodes)
+	for _, m := range uniq {
+		for v := 0; v < defaultVnodes; v++ {
+			s.points = append(s.points, point{hash: vnodeHash(m, v), replica: m})
+		}
+	}
+	sort.Slice(s.points, func(i, j int) bool {
+		if s.points[i].hash != s.points[j].hash {
+			return s.points[i].hash < s.points[j].hash
+		}
+		return s.points[i].replica < s.points[j].replica
+	})
+	return s
+}
+
+// hashKey hashes a session key onto the ring. The FNV-1a loop is
+// inlined for the same reason dispatch.shardOf inlines it: hash/fnv's
+// hasher interface allocates, and Owner runs on every request when a
+// fleet is configured. Same polynomial, same constants as fnv.New32a.
+func hashKey(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// vnodeHash hashes one (replica, vnode) pair to a ring position, by
+// feeding the FNV-1a stream the replica id and vnode index a byte at a
+// time (little-endian, fixed width) so the layout is a pure function of
+// the pair, not of any string formatting.
+func vnodeHash(replica, vnode int) uint32 {
+	h := uint32(2166136261)
+	for _, v := range [2]uint32{uint32(replica), uint32(vnode)} {
+		for b := 0; b < 4; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= 16777619
+		}
+	}
+	return h
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingNeedsMembers(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("NewRing(nil) should fail")
+	}
+	r, err := NewRing([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetMembers(nil); err == nil {
+		t.Fatal("SetMembers(nil) should fail")
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r, err := NewRing([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("session-%d", i)); got != 3 {
+			t.Fatalf("k=1 ring: Owner = %d, want 3", got)
+		}
+	}
+	if e := r.Epoch(); e != 1 {
+		t.Fatalf("Epoch = %d, want 1", e)
+	}
+	if s := r.Size(); s != 1 {
+		t.Fatalf("Size = %d, want 1", s)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, _ := NewRing([]int{0, 1, 2, 3})
+	b, _ := NewRing([]int{3, 1, 0, 2, 2}) // order and dups must not matter
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings over the same member set disagree on %q: %d vs %d",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+	m := b.Members()
+	want := []int{0, 1, 2, 3}
+	if len(m) != len(want) {
+		t.Fatalf("Members = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := NewRing([]int{0, 1, 2, 3})
+	counts := make(map[int]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("10.0.%d.%d:%d", i%256, i/256, 30000+i))]++
+	}
+	for rep, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("replica %d owns %.1f%% of keys; vnode spread too skewed (%v)",
+				rep, 100*frac, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d replicas own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingMinimalDisruption checks the consistent-hashing property the
+// handoff bound relies on: removing one member only moves the keys it
+// owned; every other key keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	before, _ := NewRing([]int{0, 1, 2, 3})
+	after, _ := NewRing([]int{0, 1, 3})
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("client-%d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was == 2 {
+			if is == 2 {
+				t.Fatalf("key %q still owned by removed replica 2", key)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %d -> %d though its owner stayed in the ring", key, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingEpochAdvances(t *testing.T) {
+	r, _ := NewRing([]int{0, 1})
+	if r.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", r.Epoch())
+	}
+	if err := r.SetMembers([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after SetMembers = %d, want 2", r.Epoch())
+	}
+	owner, epoch := r.OwnerEpoch("client-1")
+	if epoch != 2 {
+		t.Fatalf("OwnerEpoch epoch = %d, want 2", epoch)
+	}
+	if owner != r.Owner("client-1") {
+		t.Fatalf("OwnerEpoch owner %d != Owner %d", owner, r.Owner("client-1"))
+	}
+}

@@ -71,7 +71,13 @@ type rankDef struct {
 // layer adds three more leaves: the latency-outlier detector's state
 // mutex (its evaluation sorts in-memory buffers only) and the hedge
 // race's two bookkeeping mutexes (writer arbitration and the
-// primary/backup handshake — the proxy work runs outside them).
+// primary/backup handshake — the proxy work runs outside them). The
+// fleet layer adds five more leaves: the ownership ring's membership
+// writer (readers are lock-free off an atomic snapshot), the gossip
+// digest board, the merger's watermark table (Apply callbacks run
+// outside it by contract), the pending-delta buffer, and the live
+// adapter's per-peer health-verdict mutex (the union mask the core
+// reads is published through an atomic pointer).
 var lockHierarchy = []rankDef{
 	{"internal/autoscale", "Controller", "mu", 5, false},
 	{"internal/dispatch", "Core", "wrMu", 10, false},
@@ -87,6 +93,11 @@ var lockHierarchy = []rankDef{
 	{"internal/health", "Detector", "mu", 97, true},
 	{"internal/httpfront", "raceWriter", "mu", 98, true},
 	{"internal/httpfront", "hedgedAttempt", "mu", 99, true},
+	{"internal/fleet", "Ring", "mu", 100, true},
+	{"internal/fleet", "Exchanger", "mu", 101, true},
+	{"internal/fleet", "Merger", "mu", 102, true},
+	{"internal/fleet", "Buffer", "mu", 103, true},
+	{"internal/httpfront", "fleetState", "healthMu", 104, true},
 }
 
 // classifyLock maps the receiver of a Lock/Unlock call to its class.

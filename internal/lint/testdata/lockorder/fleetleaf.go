@@ -1,0 +1,48 @@
+// lockorder fixture: the fleet layer's mutexes are all leaves of the
+// hierarchy. The merger's watermark mutex is the contract-critical one
+// — Apply callbacks must run outside it, so acquiring anything (or
+// blocking) while it is held is exactly the deadlock the rank guards
+// against. The leaf ranks only apply under prord/internal/fleet.
+package fleet
+
+import "sync"
+
+type Merger struct {
+	mu   sync.Mutex
+	seen map[int]uint64
+}
+
+type Exchanger struct {
+	mu     sync.Mutex
+	latest map[int]int
+}
+
+// mergeThenPublish is the clean shape: the digest board and watermark
+// table are taken one after the other, never nested, and the callback
+// runs after both leaves are released.
+func (m *Merger) mergeThenPublish(ex *Exchanger, apply func(int)) {
+	ex.mu.Lock()
+	d := ex.latest[0]
+	ex.mu.Unlock()
+	m.mu.Lock()
+	m.seen[0] = uint64(d)
+	m.mu.Unlock()
+	apply(d)
+}
+
+// badNest reads the digest board while the watermark leaf is held.
+func (m *Merger) badNest(ex *Exchanger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ex.mu.Lock() // want lockorder
+	m.seen[0] = uint64(ex.latest[0])
+	ex.mu.Unlock()
+}
+
+// badApply blocks on a channel send while the watermark leaf is held —
+// the shape the "callbacks run outside the lock" contract forbids.
+func (m *Merger) badApply(ch chan uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch <- m.seen[0] // want lockorder
+}

@@ -137,7 +137,7 @@ func TestFaultScheduleFailover(t *testing.T) {
 	defer c.close()
 	start := time.Now()
 	stop := h.startFaults(c, start)
-	live := h.runOpen(c.front.URL, start)
+	live := h.runOpen(c, start)
 	stop()
 	c.drainPrefetches(time.Second)
 	run := h.reduce("PRORD", c, live)

@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"prord/internal/autoscale"
+)
+
+func TestFleetConfigValidation(t *testing.T) {
+	cfg := smallConfig(OpenLoop)
+	cfg.FleetReplicas = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative fleet replicas should fail validation")
+	}
+	cfg = smallConfig(OpenLoop)
+	cfg.FleetReplicas = 2
+	cfg.Autoscale = &autoscale.Config{Initial: 1}
+	if _, err := New(cfg); err == nil {
+		t.Error("fleet mode with autoscale should fail validation")
+	}
+}
+
+// TestFleetSprayAffinity is the acceptance invariant for multi-replica
+// spray mode: with k=2 replicas and sessions sprayed across both
+// fronts, every session is answered by exactly one ring owner
+// (AffinityBreaches == 0), no replica tracks a session it does not
+// own, and the handoffs are explicitly accounted and bounded by the
+// number of requests.
+func TestFleetSprayAffinity(t *testing.T) {
+	cfg := smallConfig(ClosedLoop)
+	cfg.FleetReplicas = 2
+	cfg.Duration = 2 * time.Second
+	cfg.CompareSim = false
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate Run's sequence by hand so the fleet's distributors stay
+	// inspectable after the replay.
+	c, err := h.startCluster("PRORD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	if len(c.dists) != 2 || len(c.fronts) != 2 {
+		t.Fatalf("fleet booted %d dists / %d fronts, want 2/2", len(c.dists), len(c.fronts))
+	}
+	live := h.runClosed(c, time.Now())
+	run := h.reduce("PRORD", c, live)
+
+	if run.Errors != 0 {
+		t.Fatalf("fleet replay errored: %d errors", run.Errors)
+	}
+	fs := run.Fleet
+	if fs == nil {
+		t.Fatal("no fleet block on a fleet run")
+	}
+	if fs.Replicas != 2 || fs.RingEpoch != 1 {
+		t.Errorf("fleet block = %+v, want 2 replicas at ring epoch 1", fs)
+	}
+	if fs.AffinityBreaches != 0 {
+		t.Errorf("session-affinity invariant violated: %d sessions saw two replicas", fs.AffinityBreaches)
+	}
+	if fs.Forwards == 0 {
+		t.Error("no forwards on a 2-replica spray; the ownership path never ran")
+	}
+	total := run.Requests + run.WarmupRequests + run.Shed
+	if fs.Forwards > total {
+		t.Errorf("forwards %d exceed the %d requests issued: handoffs not bounded", fs.Forwards, total)
+	}
+	if fs.ForwardRate <= 0 || fs.ForwardRate >= 1 {
+		t.Errorf("forward rate %v outside (0,1)", fs.ForwardRate)
+	}
+	// Exclusive ownership: a replica must never track a session the
+	// ring assigns elsewhere (forwarded first-touches release any local
+	// binding).
+	for i, d := range c.dists {
+		if own, tracked := d.Core().OwnedSessions(), d.Core().SessionCount(); own != tracked {
+			t.Errorf("replica %d tracks %d sessions but owns only %d", i, tracked, own)
+		}
+	}
+	// The summed per-backend counts cover every proxied demand request
+	// exactly once, so the fleet's load-skew metric stays meaningful.
+	var perBackend int64
+	for _, b := range run.Backends {
+		perBackend += b.Requests
+	}
+	if perBackend < run.Requests+run.WarmupRequests {
+		t.Errorf("per-backend sum %d lost requests (served %d)", perBackend, run.Requests+run.WarmupRequests)
+	}
+}
+
+// TestFleetSingleReplicaIdentity: FleetReplicas=1 runs the fleet layer
+// with a single-member ring — no forwards, no breaches, and the fleet
+// block present with the degenerate values.
+func TestFleetSingleReplicaIdentity(t *testing.T) {
+	cfg := smallConfig(OpenLoop)
+	cfg.FleetReplicas = 1
+	cfg.CompareSim = false
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := h.Run("PRORD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := run.Fleet
+	if fs == nil {
+		t.Fatal("no fleet block with FleetReplicas=1")
+	}
+	if fs.Replicas != 1 || fs.Forwards != 0 || fs.OwnershipRebinds != 0 || fs.AffinityBreaches != 0 {
+		t.Errorf("single-member fleet not degenerate: %+v", fs)
+	}
+}
+
+// TestFleetArtifactStableSections is the byte-stability acceptance
+// check for multi-replica runs: the config, workload and sim sections
+// of a k=2 fleet artifact are byte-identical across repeats, and the
+// config echo carries the fleet block.
+func TestFleetArtifactStableSections(t *testing.T) {
+	encode := func() []byte {
+		cfg := smallConfig(OpenLoop)
+		cfg.FleetReplicas = 2
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := res.Artifact()
+		sim := *res.Runs[0].Sim
+		sim.ThroughputDeltaPct = 0
+		sim.MeanLatencyDeltaPct = 0
+		sim.ShedDeltaPct = 0
+		sections, err := json.Marshal(struct {
+			Config   any
+			Workload any
+			Sim      any
+		}{art.Config, art.Workload, sim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sections
+	}
+	s1 := encode()
+	s2 := encode()
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("deterministic fleet sections differ:\n%s\n%s", s1, s2)
+	}
+	if !bytes.Contains(s1, []byte(`"fleet":{"replicas":2}`)) {
+		t.Errorf("config echo missing fleet block: %s", s1)
+	}
+	if !bytes.Contains(s1, []byte(`"fleet_forwards":`)) {
+		t.Errorf("sim section missing fleet forwards: %s", s1)
+	}
+}

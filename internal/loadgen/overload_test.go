@@ -235,7 +235,7 @@ func TestOverloadRampEmbeddedNeverShed(t *testing.T) {
 					time.Sleep(d)
 				}
 				req := &h.eval.Requests[a.idx]
-				_, shed, err := fetch(client, c.front.URL+req.Path)
+				_, shed, _, err := fetch(client, c.front.URL+req.Path)
 				if err != nil {
 					continue
 				}

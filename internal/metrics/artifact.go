@@ -146,6 +146,10 @@ type SimComparison struct {
 	// TierTransitions is the simulator's degrade-ladder history; it is
 	// deterministic and part of the byte-stability guarantee.
 	TierTransitions []TierTransition `json:"tier_transitions,omitempty"`
+	// FleetForwards counts simulated requests forwarded from their
+	// hash-pinned ingress distributor to the session's ring owner
+	// (fleet runs only). The live counterpart is BenchRun.Fleet.
+	FleetForwards int64 `json:"fleet_forwards,omitempty"`
 }
 
 // AutoscaleSummary is the elastic-pool block of a benchmark run:
@@ -189,6 +193,31 @@ type GraySummary struct {
 	HedgesFired  int64 `json:"hedges_fired"`
 	HedgeWins    int64 `json:"hedge_wins"`
 	HedgeCancels int64 `json:"hedge_cancels"`
+}
+
+// FleetSummary is the multi-distributor block of a benchmark run:
+// session-ownership partitioning outcomes aggregated across the
+// front-end fleet.
+type FleetSummary struct {
+	// Replicas is the fleet size (front-end distributor count).
+	Replicas int `json:"replicas"`
+	// RingEpoch counts ownership-ring membership publishes (1 for a
+	// fleet whose membership never changed).
+	RingEpoch uint64 `json:"ring_epoch"`
+	// Forwards counts requests that entered through a replica that does
+	// not own their session and were handed to the ring owner.
+	Forwards int64 `json:"forwards"`
+	// ForwardRate is Forwards per demand request the fleet accepted
+	// (warmup included — forwarding runs the whole run). With ingress
+	// sprayed uniformly it converges to (k-1)/k for k replicas.
+	ForwardRate float64 `json:"forward_rate"`
+	// OwnershipRebinds counts stale local session bindings released when
+	// a foreign touch revealed the ring had moved the session elsewhere.
+	OwnershipRebinds int64 `json:"ownership_rebinds"`
+	// AffinityBreaches counts replayed sessions that saw responses from
+	// more than one replica over a single connection — the session-
+	// affinity invariant the load generator asserts. Expected 0.
+	AffinityBreaches int64 `json:"affinity_breaches"`
 }
 
 // BenchRun is one measured cell of a benchmark artifact (one policy on
@@ -251,6 +280,9 @@ type BenchRun struct {
 	// Gray holds the gray-failure resilience outcome when the detection
 	// or hedging layer was enabled.
 	Gray *GraySummary `json:"gray,omitempty"`
+	// Fleet holds the multi-distributor outcome when the run sprayed
+	// load across a fleet of front-end replicas.
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 	// Backends holds per-backend request counts and hit rates in backend
 	// order.
 	Backends []BackendSample `json:"backends,omitempty"`

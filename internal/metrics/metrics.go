@@ -172,6 +172,10 @@ type Collector struct {
 	// ReplicationsShed counts replication refresh rounds skipped at
 	// Elevated tier or above.
 	ReplicationsShed int64
+	// FleetForwards counts requests that arrived at a distributor replica
+	// that does not own the session and were forwarded one hop to the
+	// ring owner (multi-distributor fleet mode).
+	FleetForwards int64
 	// BytesServed totals response bytes delivered to clients.
 	BytesServed int64
 	// DynamicServed counts requests for generated (uncacheable) content;
